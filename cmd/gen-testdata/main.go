@@ -1,0 +1,32 @@
+// Command gen-testdata regenerates the JSON CDFG corpus in testdata/
+// from the built-in benchmark constructors. The files double as example
+// inputs for `salsa -cdfg`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"salsa/internal/workloads"
+)
+
+func main() {
+	dir := "testdata"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	for name, build := range workloads.All() {
+		g := build()
+		data, err := g.MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,326 @@
+// Command salsa schedules and allocates a CDFG with the extended
+// binding model, reporting the datapath cost and optionally emitting a
+// DOT rendering of the graph, a structural RTL netlist, and a
+// simulation-based verification of the allocation.
+//
+// Usage:
+//
+//	salsa -bench ewf -steps 19 -extra-regs 1 -rtl ewf.v
+//	salsa -cdfg mydesign.json -mode both -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/core"
+	"salsa/internal/datapath"
+	"salsa/internal/dpsim"
+	"salsa/internal/library"
+	"salsa/internal/lifetime"
+	"salsa/internal/place"
+	"salsa/internal/report"
+	"salsa/internal/rtl"
+	"salsa/internal/sched"
+	"salsa/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "built-in benchmark: ewf, dct, fir16, fir8, arf, diffeq, tseng, figure1")
+		cdfgPath  = flag.String("cdfg", "", "CDFG JSON file (alternative to -bench)")
+		steps     = flag.Int("steps", 0, "schedule length in control steps (default: critical path + 2)")
+		pipelined = flag.Bool("pipelined", false, "use pipelined multipliers (latency 2, initiation interval 1)")
+		extraRegs = flag.Int("extra-regs", 0, "registers beyond the minimum")
+		seed      = flag.Int64("seed", 1, "random seed for the iterative improvement search")
+		restarts  = flag.Int("restarts", 3, "independent search restarts (best kept)")
+		mode      = flag.String("mode", "salsa", "binding model: salsa, traditional, matching, or both")
+		scheduler = flag.String("scheduler", "list", "scheduler: list (resource-constrained) or fds (force-directed)")
+		verify    = flag.Bool("verify", true, "cross-check the allocation by cycle-accurate simulation")
+		dotOut    = flag.String("dot", "", "write the CDFG in Graphviz DOT form to this file")
+		jsonOut   = flag.String("dump-json", "", "write the CDFG in the hand-authorable JSON schema to this file")
+		rtlOut    = flag.String("rtl", "", "write the structural RTL netlist to this file")
+		verbose   = flag.Bool("v", false, "print the full binding (per-op FU, per-segment register)")
+		chart     = flag.Bool("chart", false, "print register/FU occupancy charts and the mux summary")
+		doPlace   = flag.Bool("place", false, "estimate layout: optimized 1-D module placement and wire length")
+		area      = flag.Bool("area", false, "print the gate-equivalent area report (16-bit library)")
+		simInputs = flag.String("sim", "", "simulate the datapath on comma-separated inputs/states, e.g. \"x=3,y=4\" (loops run 4 iterations)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*benchName, *cdfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(g.Stats())
+
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(g.DOT()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *jsonOut != "" {
+		data, err := g.MarshalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	d := cdfg.DefaultDelays(*pipelined)
+	cp := g.CriticalPath(d)
+	T := *steps
+	if T == 0 {
+		T = cp + 2
+	}
+	if T < cp {
+		fatal(fmt.Errorf("%d steps is below the critical path (%d)", T, cp))
+	}
+	var (
+		a   *lifetime.Analysis
+		lim sched.Limits
+	)
+	switch strings.ToLower(*scheduler) {
+	case "list":
+		a, lim, err = lifetime.MinFUAnalysis(g, d, T)
+	case "fds":
+		a, err = lifetime.RepairFDS(g, d, T)
+		if err == nil {
+			lim = a.Sched.MinLimits()
+		}
+	default:
+		err = fmt.Errorf("unknown -scheduler %q", *scheduler)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("schedule: %d steps (critical path %d), %d ALUs, %d multipliers, min %d registers\n",
+		T, cp, lim[sched.ClassALU], lim[sched.ClassMul], a.MinRegs)
+
+	var inputs []string
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Input {
+			inputs = append(inputs, g.Nodes[i].Name)
+		}
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+*extraRegs, inputs, true)
+
+	runMode := func(name string, opts core.Options) *core.Result {
+		res, err := core.AllocateBest(a, hw, opts, *restarts)
+		if err != nil {
+			fmt.Printf("%-12s infeasible: %v\n", name+":", err)
+			return nil
+		}
+		fmt.Printf("%-12s %2d muxes (%2d merged), %2d registers, %d FUs; %d/%d moves accepted; init %d -> final %d\n",
+			name+":", res.Cost.MuxCost, res.MergedMux, res.Cost.RegsUsed, res.Cost.FUsUsed,
+			res.MovesAccepted, res.MovesTried, res.InitialCost.Total, res.Cost.Total)
+		if len(res.Binding.Pass) > 0 || res.Binding.NumCopies() > 0 {
+			fmt.Printf("%-12s %d pass-throughs, %d value copies\n", "", len(res.Binding.Pass), res.Binding.NumCopies())
+		}
+		ba := res.IC.AllocateBuses()
+		fmt.Printf("%-12s bus-style alternative: %d buses, %d sink muxes, %d drivers\n",
+			"", ba.Buses, ba.MuxCost, ba.Drivers)
+		return res
+	}
+
+	var final *core.Result
+	switch strings.ToLower(*mode) {
+	case "salsa":
+		final = runMode("salsa", core.SALSAOptions(*seed))
+	case "traditional":
+		final = runMode("traditional", core.TraditionalOptions(*seed))
+	case "matching":
+		res, err := core.MatchingAllocate(a, hw, core.SALSAOptions(*seed).Cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %2d muxes (%2d merged), %2d registers (constructive bipartite matching)\n",
+			"matching:", res.Cost.MuxCost, res.MergedMux, res.Cost.RegsUsed)
+		final = res
+	case "both":
+		trad := runMode("traditional", core.TraditionalOptions(*seed))
+		final = runMode("salsa", core.SALSAOptions(*seed))
+		if trad != nil && final != nil {
+			warm := core.SALSAOptions(*seed)
+			warm.Initial = trad.Binding
+			if w, err := core.Allocate(a, hw, warm); err == nil && w.Cost.Total < final.Cost.Total {
+				final = w
+				fmt.Printf("%-12s warm start from traditional improved to %d muxes (%d merged)\n",
+					"salsa:", w.Cost.MuxCost, w.MergedMux)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if final == nil {
+		os.Exit(1)
+	}
+
+	if *verbose {
+		printBinding(final)
+	}
+	if *chart {
+		out, err := report.Full(final.Binding)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	}
+	if *area {
+		r, err := library.Analyze(library.Default(), final.Binding)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.String())
+	}
+	if *doPlace {
+		pl := place.Linear(final.IC)
+		var names []string
+		for _, m := range pl.Order {
+			if m.Kind == datapath.SrcFU {
+				names = append(names, final.Binding.HW.FUs[m.Index].Name)
+			} else {
+				names = append(names, final.Binding.HW.Regs[m.Index].Name)
+			}
+		}
+		fmt.Printf("placement:   %s (wire length %d, %d improving swaps)\n",
+			strings.Join(names, " | "), pl.WireLength, pl.Swaps)
+	}
+
+	if *verify {
+		if err := verifyAllocation(final, g, *seed); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Println("verified: cycle-accurate simulation matches reference semantics")
+	}
+
+	if *simInputs != "" {
+		env, err := parseEnv(*simInputs)
+		if err != nil {
+			fatal(err)
+		}
+		iters := 1
+		if g.Cyclic {
+			iters = 4
+		}
+		res, err := dpsim.Run(final.Binding, env, iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulation (%d iteration(s)):\n", iters)
+		var names []string
+		for name := range res.Outputs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %s = %d\n", name, res.Outputs[name])
+		}
+	}
+
+	if *rtlOut != "" {
+		nl, err := rtl.Emit(final.Binding, strings.ReplaceAll(g.Name, "-", "_")+"_dp")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*rtlOut, []byte(nl.Text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d FUs, %d registers, %d merged muxes)\n", *rtlOut, nl.FUs, nl.Regs, nl.Muxes)
+	}
+}
+
+func loadGraph(bench, path string) (*cdfg.Graph, error) {
+	switch {
+	case bench != "" && path != "":
+		return nil, fmt.Errorf("use either -bench or -cdfg, not both")
+	case bench != "":
+		build, ok := workloads.All()[strings.ToLower(bench)]
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return build(), nil
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return cdfg.ParseJSON(data)
+	default:
+		return nil, fmt.Errorf("specify -bench <name> or -cdfg <file>")
+	}
+}
+
+func printBinding(res *core.Result) {
+	b := res.Binding
+	g := b.A.Sched.G
+	fmt.Println("operator bindings:")
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.Op.IsArith() {
+			continue
+		}
+		fmt.Printf("  %-8s @%2d -> %s\n", n.Name, b.A.Sched.Start[i], b.HW.FUs[b.OpFU[i]].Name)
+	}
+	fmt.Println("value bindings:")
+	for i := range b.A.Values {
+		v := &b.A.Values[i]
+		var segs []string
+		for k := 0; k < v.Len; k++ {
+			segs = append(segs, fmt.Sprintf("R%d", b.SegReg[i][k]))
+		}
+		fmt.Printf("  %-8s born @%2d: %s\n", v.Name, v.Birth, strings.Join(segs, " "))
+	}
+}
+
+func verifyAllocation(res *core.Result, g *cdfg.Graph, seed int64) error {
+	env := cdfg.Env{}
+	x := seed
+	for i := range g.Nodes {
+		switch g.Nodes[i].Op {
+		case cdfg.Input, cdfg.State:
+			x = x*6364136223846793005 + 1442695040888963407
+			env[g.Nodes[i].Name] = (x >> 33) % 1000
+		}
+	}
+	iters := 1
+	if g.Cyclic {
+		iters = 4
+	}
+	_, err := dpsim.Run(res.Binding, env, iters)
+	return err
+}
+
+// parseEnv parses "a=1,b=-2" into an evaluation environment.
+func parseEnv(s string) (cdfg.Env, error) {
+	env := cdfg.Env{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -sim entry %q (want name=value)", kv)
+		}
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(parts[1]), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad -sim value in %q: %v", kv, err)
+		}
+		env[strings.TrimSpace(parts[0])] = v
+	}
+	return env, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "salsa:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command tables regenerates the paper's evaluation tables and figure
+// demonstrations:
+//
+//	tables -table 2        # Table 2: EWF under 5 schedules × register budgets
+//	tables -table 3        # Table 3: DCT under 4 schedules
+//	tables -table ablation # feature knockouts on EWF@19
+//	tables -table figures  # Figures 3 and 4 mechanism demos
+//	tables -table all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"salsa/internal/experiments"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "which table: 2, 3, ablation, sched, baselines, figures, all")
+		full  = flag.Bool("full", false, "full search effort (slower, better allocations)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick(*seed)
+	if *full {
+		cfg = experiments.Full(*seed)
+	}
+
+	run := func(name string, f func() error) {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(t0).Seconds())
+	}
+
+	want := func(name string) bool { return *table == "all" || *table == name }
+
+	if want("2") {
+		run("table 2", func() error {
+			rows, err := experiments.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("Table 2 — Elliptic Wave Filter (paper Table 2)", rows))
+			return nil
+		})
+	}
+	if want("3") {
+		run("table 3", func() error {
+			rows, err := experiments.Table3(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("Table 3 — Discrete Cosine Transform (paper Table 3)", rows))
+			return nil
+		})
+	}
+	if want("ablation") {
+		run("ablation", func() error {
+			rows, err := experiments.Ablation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatAblation(rows))
+			return nil
+		})
+	}
+	if want("sched") {
+		run("scheduler study", func() error {
+			rows, err := experiments.SchedulerStudy(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSchedulerStudy(rows))
+			return nil
+		})
+	}
+	if want("baselines") {
+		run("allocator study", func() error {
+			rows, err := experiments.BaselineStudy(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatBaselineStudy(rows))
+			return nil
+		})
+	}
+	if want("figures") {
+		run("figures", func() error {
+			demos, err := experiments.Demos()
+			if err != nil {
+				return err
+			}
+			for _, d := range demos {
+				fmt.Print(experiments.FormatDemo(d))
+			}
+			row, err := experiments.Figure12(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("Figures 1/2 — binding models on the intro CDFG", []experiments.Row{row}))
+			return nil
+		})
+	}
+}

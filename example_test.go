@@ -1,0 +1,98 @@
+package salsa_test
+
+import (
+	"fmt"
+
+	"salsa"
+	"salsa/internal/cdfg"
+	"salsa/internal/library"
+	"salsa/internal/workloads"
+)
+
+// ExampleCompile shows the minimal flow: build a behavior, compile,
+// allocate, simulate.
+func ExampleCompile() {
+	g := cdfg.New("mac")
+	x := g.Input("x")
+	y := g.Input("y")
+	acc := g.State("acc")
+	sum := g.Add("sum", g.Mul("prod", x, y), acc)
+	g.SetNext(acc, sum)
+	g.Output("out", sum)
+
+	des, err := salsa.Compile(g, salsa.Params{})
+	if err != nil {
+		panic(err)
+	}
+	o := salsa.SALSAOptions(1)
+	o.MovesPerTrial = 200
+	o.MaxTrials = 4
+	res, err := des.Allocate(o, 1)
+	if err != nil {
+		panic(err)
+	}
+	out, err := des.Simulate(res, salsa.Env{"x": 3, "y": 4, "acc": 10}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("out =", out["out"])
+	// Output: out = 22
+}
+
+// ExampleDesign_AllocateBoth compares the two binding models on a
+// standard benchmark.
+func ExampleDesign_AllocateBoth() {
+	des, err := salsa.Compile(workloads.Tseng(), salsa.Params{ExtraRegisters: 1})
+	if err != nil {
+		panic(err)
+	}
+	salsaRes, tradRes, err := des.AllocateBoth(1, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("extended never loses:", tradRes == nil || salsaRes.Cost.Total <= tradRes.Cost.Total)
+	// Output: extended never loses: true
+}
+
+// ExampleDesign_EmitRTL renders an allocation as Verilog and reports
+// the module interface.
+func ExampleDesign_EmitRTL() {
+	des, err := salsa.Compile(workloads.Diffeq(), salsa.Params{ExtraRegisters: 1})
+	if err != nil {
+		panic(err)
+	}
+	o := salsa.SALSAOptions(1)
+	o.MovesPerTrial = 150
+	o.MaxTrials = 3
+	res, err := des.Allocate(o, 1)
+	if err != nil {
+		panic(err)
+	}
+	nl, err := des.EmitRTL(res, "diffeq_dp")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nl.ModuleName, "FUs:", nl.FUs, "regs:", nl.Regs)
+	// Output: diffeq_dp FUs: 3 regs: 7
+}
+
+// Example_areaReport grounds an allocation in gate equivalents.
+func Example_areaReport() {
+	des, err := salsa.Compile(workloads.FIR8(), salsa.Params{ExtraRegisters: 1})
+	if err != nil {
+		panic(err)
+	}
+	o := salsa.SALSAOptions(2)
+	o.MovesPerTrial = 150
+	o.MaxTrials = 3
+	res, err := des.Allocate(o, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := library.Analyze(library.Default(), res.Binding)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("multiplier area dominates:", rep.MulArea > rep.RegArea+rep.MuxArea)
+	// Output: multiplier area dominates: true
+}

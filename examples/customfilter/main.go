@@ -1,0 +1,116 @@
+// Customfilter: authoring your own behavior through the public API — a
+// direct-form-II biquad IIR section with loop-carried state — then
+// taking it through the complete flow: JSON round-trip, compilation,
+// allocation under both models, multi-iteration simulation against a
+// software reference, and RTL emission.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"salsa"
+	"salsa/internal/cdfg"
+)
+
+// buildBiquad constructs w[n] = x[n] + a1·w[n-1] + a2·w[n-2],
+// y[n] = b0·w[n] + b1·w[n-1] + b2·w[n-2] with integer coefficients.
+func buildBiquad() *cdfg.Graph {
+	g := cdfg.New("biquad")
+	x := g.Input("x")
+	w1 := g.State("w1") // w[n-1]
+	w2 := g.State("w2") // w[n-2]
+
+	fb := g.Add("fb", g.MulC("a1w1", w1, 3), g.MulC("a2w2", w2, -2))
+	w := g.Add("w", x, fb)
+	ff := g.Add("ff", g.MulC("b1w1", w1, 5), g.MulC("b2w2", w2, 7))
+	y := g.Add("y", g.MulC("b0w", w, 4), ff)
+
+	g.SetNext(w1, w)
+	// w[n-2] next iteration = w[n-1] now; states cannot chain directly,
+	// so route the delay through a pass-capable identity: w2' = w1 + 0.
+	zero := g.Const("zero", 0)
+	dly := g.Add("dly", w1, zero)
+	g.SetNext(w2, dly)
+	g.Output("y_out", y)
+	return g
+}
+
+func main() {
+	g := buildBiquad()
+	fmt.Println(g.Stats())
+
+	// Round-trip through the hand-authorable JSON schema.
+	data, err := g.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2, err := cdfg.ParseJSON(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSON round-trip: %d bytes, %d nodes preserved\n", len(data), len(g2.Nodes))
+
+	des, err := salsa.Compile(g2, salsa.Params{ExtraRegisters: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled in %d steps, min %d registers\n", des.Steps(), des.MinRegisters())
+
+	salsaRes, tradRes, err := des.AllocateBoth(5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traditional:", salsa.Summary(tradRes))
+	fmt.Println("extended:   ", salsa.Summary(salsaRes))
+
+	// Drive an impulse through 6 iterations and compare against a plain
+	// software model of the same filter.
+	type swState struct{ w1, w2 int64 }
+	sw := swState{}
+	ref := func(x int64) int64 {
+		w := x + 3*sw.w1 - 2*sw.w2
+		y := 4*w + 5*sw.w1 + 7*sw.w2
+		sw.w2, sw.w1 = sw.w1, w
+		return y
+	}
+
+	env := salsa.Env{"w1": 0, "w2": 0}
+	inputs := []int64{100, 0, 0, 0, 0, 0}
+	fmt.Print("impulse response: ")
+	for i, xv := range inputs {
+		env["x"] = xv
+		// Each Simulate call preloads the loop state from env, so the
+		// state can be threaded through explicitly between iterations.
+		out, err := des.Simulate(salsaRes, env, 1)
+		if err != nil {
+			log.Fatalf("iteration %d: %v", i, err)
+		}
+		want := ref(xv)
+		if out["y_out"] != want {
+			log.Fatalf("datapath drift at %d: %d vs %d", i, out["y_out"], want)
+		}
+		fmt.Printf("%d ", want)
+		r, err := g2.Eval(cdfg.Env(env))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, v := range r.NextState {
+			env[k] = v
+		}
+	}
+	fmt.Println()
+
+	// One long verified run through the actual datapath.
+	env = salsa.Env{"w1": 0, "w2": 0, "x": 100}
+	if _, err := des.Simulate(salsaRes, env, 6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("datapath verified over 6 loop iterations")
+
+	nl, err := des.EmitRTL(salsaRes, "biquad_dp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RTL: %d FUs, %d registers, %d merged muxes\n", nl.FUs, nl.Regs, nl.Muxes)
+}

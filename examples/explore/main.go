@@ -1,0 +1,50 @@
+// Explore: the paper's storage-vs-interconnect trade as one sweep.
+// Allocates the EWF at 19 steps for register budgets from the minimum
+// upward under both binding models and prints multiplexer counts plus
+// gate-equivalent totals from the component library — the curve behind
+// Table 2's register columns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"salsa"
+	"salsa/internal/library"
+	"salsa/internal/workloads"
+)
+
+func main() {
+	fmt.Println("EWF @ 19 steps — registers vs interconnect (merged 2-1 muxes / total gate equivalents)")
+	fmt.Printf("%4s %6s | %-18s | %-18s\n", "regs", "", "traditional", "extended")
+	lib := library.Default()
+	for extra := 0; extra <= 4; extra++ {
+		g := workloads.EWF()
+		des, err := salsa.Compile(g, salsa.Params{Steps: 19, ExtraRegisters: extra})
+		if err != nil {
+			log.Fatal(err)
+		}
+		salsaRes, tradRes, err := des.AllocateBoth(5, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := des.Verify(salsaRes); err != nil {
+			log.Fatal(err)
+		}
+		trad := "      infeasible "
+		if tradRes != nil {
+			tr, err := library.Analyze(lib, tradRes.Binding)
+			if err != nil {
+				log.Fatal(err)
+			}
+			trad = fmt.Sprintf("%3d muxes %7d", tradRes.MergedMux, tr.Total)
+		}
+		sr, err := library.Analyze(lib, salsaRes.Binding)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %6s | %s | %3d muxes %7d\n",
+			des.MinRegisters()+extra, "", trad, salsaRes.MergedMux, sr.Total)
+	}
+	fmt.Println("\n(gate equivalents: 16-bit library; lower is better; all extended rows simulation-verified)")
+}

@@ -1,0 +1,31 @@
+// Figures: reproduces the mechanism demonstrations of the paper's
+// Figures 1–4 — the two binding models on the intro CDFG, a
+// pass-through that reuses existing connections, and a value split that
+// removes a multiplexer input.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"salsa/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Figures 1/2 — traditional vs extended binding on the intro CDFG")
+	row, err := experiments.Figure12(experiments.Quick(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatTable("", []experiments.Row{row}))
+	fmt.Println()
+
+	demos, err := experiments.Demos()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range demos {
+		fmt.Print(experiments.FormatDemo(d))
+		fmt.Println()
+	}
+}

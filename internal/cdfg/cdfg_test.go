@@ -1,0 +1,357 @@
+package cdfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tiny builds the running example of the paper's Figure 1: a handful of
+// adds/muls over four inputs with two outputs.
+func tiny(t *testing.T) *Graph {
+	t.Helper()
+	g := New("tiny")
+	v1 := g.Input("v1")
+	v2 := g.Input("v2")
+	v3 := g.Input("v3")
+	v4 := g.Input("v4")
+	v8 := g.Add("v8", v1, v2)
+	v9 := g.Mul("v9", v3, v4)
+	v10 := g.Add("v10", v8, v9)
+	g.Output("out", v10)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("tiny graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	g := tiny(t)
+	if got := g.NumOps(); got != 3 {
+		t.Errorf("NumOps = %d, want 3", got)
+	}
+	if got := g.OpCount(Add); got != 2 {
+		t.Errorf("adds = %d, want 2", got)
+	}
+	if got := g.OpCount(Mul); got != 1 {
+		t.Errorf("muls = %d, want 1", got)
+	}
+	if got := g.OpCount(Input); got != 4 {
+		t.Errorf("inputs = %d, want 4", got)
+	}
+}
+
+func TestUses(t *testing.T) {
+	g := New("uses")
+	a := g.Input("a")
+	b := g.Input("b")
+	s := g.Add("s", a, b)
+	g.Add("t", s, a)
+	g.Output("o", s)
+	uses := g.SortedUses(s)
+	if len(uses) != 2 {
+		t.Fatalf("uses(s) = %v, want 2 consumers", uses)
+	}
+	usesA := g.SortedUses(a)
+	if len(usesA) != 2 {
+		t.Fatalf("uses(a) = %v, want 2 consumers", usesA)
+	}
+}
+
+func TestValidateCatchesArity(t *testing.T) {
+	g := New("bad")
+	a := g.Input("a")
+	id := g.add(Node{Op: Add, Name: "halfadd", Args: []NodeID{a}, Next: NoNode})
+	_ = id
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a 1-arg add")
+	}
+}
+
+func TestValidateCatchesOutputRead(t *testing.T) {
+	g := New("bad")
+	a := g.Input("a")
+	b := g.Input("b")
+	s := g.Add("s", a, b)
+	o := g.Output("o", s)
+	g.add(Node{Op: Add, Name: "oops", Args: []NodeID{o, a}, Next: NoNode})
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a read of an Output node")
+	}
+}
+
+func TestValidateCatchesMissingNext(t *testing.T) {
+	g := New("bad")
+	g.State("sv")
+	g.Cyclic = true
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic graph with unset State.Next")
+	}
+}
+
+func TestValidateCatchesNextOnNonState(t *testing.T) {
+	g := New("bad")
+	a := g.Input("a")
+	b := g.Input("b")
+	s := g.Add("s", a, b)
+	g.Nodes[s].Next = a
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted Next on a non-state node")
+	}
+}
+
+func TestCyclicStateGraph(t *testing.T) {
+	g := New("loop")
+	in := g.Input("in")
+	sv := g.State("sv")
+	s := g.Add("s", in, sv)
+	g.SetNext(sv, s)
+	g.Output("o", s)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !g.Cyclic {
+		t.Error("SetNext did not mark graph cyclic")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := New("cp")
+	a := g.Input("a")
+	b := g.Input("b")
+	m := g.Mul("m", a, b) // 2 steps
+	s := g.Add("s", m, a) // +1
+	u := g.Add("u", s, b) // +1
+	g.Output("o", u)
+	d := DefaultDelays(false)
+	if got := g.CriticalPath(d); got != 4 {
+		t.Errorf("CriticalPath = %d, want 4", got)
+	}
+	// Pipelining changes II, not latency, so the critical path is the same.
+	dp := DefaultDelays(true)
+	if got := g.CriticalPath(dp); got != 4 {
+		t.Errorf("CriticalPath(pipelined) = %d, want 4", got)
+	}
+}
+
+func TestDelays(t *testing.T) {
+	d := DefaultDelays(false)
+	if d.Of(Add) != 1 || d.Of(Sub) != 1 || d.Of(Mul) != 2 {
+		t.Errorf("unexpected delays: %+v", d)
+	}
+	if d.IIOf(Mul) != 2 {
+		t.Errorf("non-pipelined mul II = %d, want 2", d.IIOf(Mul))
+	}
+	p := DefaultDelays(true)
+	if p.Of(Mul) != 2 || p.IIOf(Mul) != 1 {
+		t.Errorf("pipelined mul delay/II = %d/%d, want 2/1", p.Of(Mul), p.IIOf(Mul))
+	}
+	if d.Of(Input) != 0 || d.IIOf(Const) != 0 {
+		t.Error("source nodes must have zero delay")
+	}
+}
+
+func TestEval(t *testing.T) {
+	g := tiny(t)
+	res, err := g.Eval(Env{"v1": 1, "v2": 2, "v3": 3, "v4": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs["out"]; got != (1+2)+(3*4) {
+		t.Errorf("out = %d, want 15", got)
+	}
+}
+
+func TestEvalSub(t *testing.T) {
+	g := New("sub")
+	a := g.Input("a")
+	b := g.Input("b")
+	d := g.Sub("d", a, b)
+	g.Output("o", d)
+	res, err := g.Eval(Env{"a": 10, "b": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["o"] != 7 {
+		t.Errorf("o = %d, want 7 (subtraction must be left minus right)", res.Outputs["o"])
+	}
+}
+
+func TestEvalCyclic(t *testing.T) {
+	// Accumulator: sv' = sv + in.
+	g := New("acc")
+	in := g.Input("in")
+	sv := g.State("sv")
+	s := g.Add("s", in, sv)
+	g.SetNext(sv, s)
+	g.Output("o", s)
+	env := Env{"in": 5, "sv": 0}
+	for iter := 1; iter <= 3; iter++ {
+		res, err := g.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(5 * iter); res.Outputs["o"] != want {
+			t.Errorf("iter %d: o = %d, want %d", iter, res.Outputs["o"], want)
+		}
+		env["sv"] = res.NextState["sv"]
+	}
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	g := tiny(t)
+	if _, err := g.Eval(Env{"v1": 1}); err == nil {
+		t.Error("Eval accepted a missing input")
+	}
+}
+
+func TestMulCCreatesConstant(t *testing.T) {
+	g := New("mc")
+	a := g.Input("a")
+	m := g.MulC("m", a, 7)
+	g.Output("o", m)
+	if g.OpCount(Const) != 1 {
+		t.Fatalf("const count = %d, want 1", g.OpCount(Const))
+	}
+	res, err := g.Eval(Env{"a": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["o"] != 42 {
+		t.Errorf("o = %d, want 42", res.Outputs["o"])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New("loopy")
+	in := g.Input("in")
+	sv := g.State("sv")
+	c := g.Const("k", 3)
+	m := g.Mul("m", sv, c)
+	s := g.Add("s", in, m)
+	g.SetNext(sv, s)
+	g.Output("o", s)
+
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes) != len(g.Nodes) {
+		t.Fatalf("round trip changed node count: %d -> %d", len(g.Nodes), len(g2.Nodes))
+	}
+	if !g2.Cyclic {
+		t.Error("round trip lost cyclic flag")
+	}
+	// Behavioural equivalence on a sample point.
+	env := Env{"in": 4, "sv": 10}
+	r1, err := g.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g2.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Outputs["o"] != r2.Outputs["o"] || r1.NextState["sv"] != r2.NextState["sv"] {
+		t.Errorf("round trip changed behaviour: %v vs %v", r1.Outputs, r2.Outputs)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined ref": `{"name":"x","nodes":[{"name":"a","op":"add","args":["nope","nope"]}]}`,
+		"unknown op":    `{"name":"x","nodes":[{"name":"a","op":"fma","args":[]}]}`,
+		"duplicate":     `{"name":"x","nodes":[{"name":"a","op":"input"},{"name":"a","op":"input"}]}`,
+		"bad json":      `{`,
+	}
+	for name, src := range cases {
+		if _, err := ParseJSON([]byte(src)); err == nil {
+			t.Errorf("%s: ParseJSON accepted invalid input", name)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := tiny(t)
+	a, b := g.DOT(), g.DOT()
+	if a != b {
+		t.Error("DOT output is not deterministic")
+	}
+	for _, want := range []string{"digraph", "v8", "invtriangle"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+// randomDAG builds a random valid graph from a seed: a property-test
+// helper shared with the scheduler tests via the same construction.
+func randomDAG(seed int64, nOps int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("rand")
+	var pool []NodeID
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		pool = append(pool, g.Input(""))
+	}
+	for i := 0; i < nOps; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var id NodeID
+		switch rng.Intn(3) {
+		case 0:
+			id = g.Add("", a, b)
+		case 1:
+			id = g.Sub("", a, b)
+		default:
+			id = g.Mul("", a, b)
+		}
+		pool = append(pool, id)
+	}
+	g.Output("out", pool[len(pool)-1])
+	return g
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%40))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphsJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%25))
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		g2, err := ParseJSON(data)
+		if err != nil {
+			return false
+		}
+		return len(g2.Nodes) == len(g.Nodes) && g2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalPathMonotoneInDelay(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%30))
+		fast := Delays{AddDelay: 1, MulDelay: 1, MulII: 1}
+		slow := Delays{AddDelay: 1, MulDelay: 3, MulII: 3}
+		return g.CriticalPath(slow) >= g.CriticalPath(fast)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package cdfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Arithmetic nodes are
+// drawn as circles labeled with their operator symbol, sources as boxes,
+// and loop-carried state feedback as dashed edges. The output is
+// deterministic.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch {
+		case n.Op.IsArith():
+			sym := map[Op]string{Add: "+", Sub: "-", Mul: "*"}[n.Op]
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\" shape=circle];\n", n.ID, sym, n.Name)
+		case n.Op == Const:
+			fmt.Fprintf(&b, "  n%d [label=\"%s=%d\" shape=box style=dotted];\n", n.ID, n.Name, n.ConstVal)
+		case n.Op == Output:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=invtriangle];\n", n.ID, n.Name)
+		default:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=box];\n", n.ID, n.Name)
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for port, a := range n.Args {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", a, n.ID, port)
+		}
+		if n.Op == State && n.Next != NoNode {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed constraint=false];\n", n.Next, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

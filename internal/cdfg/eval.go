@@ -1,0 +1,60 @@
+package cdfg
+
+import "fmt"
+
+// Env supplies concrete values for a reference evaluation: one entry per
+// Input node and one per State node, keyed by node name.
+type Env map[string]int64
+
+// EvalResult holds the outcome of one iteration of reference evaluation.
+type EvalResult struct {
+	// Values holds the computed value of every non-Output node, indexed
+	// by NodeID.
+	Values []int64
+	// Outputs maps each Output node's name to the value it sank.
+	Outputs map[string]int64
+	// NextState maps each State node's name to its content for the next
+	// iteration (cyclic graphs only; empty otherwise).
+	NextState Env
+}
+
+// Eval computes one iteration of the graph over 64-bit integer
+// semantics (wrapping). It is the functional reference the datapath
+// simulator is checked against.
+func (g *Graph) Eval(env Env) (*EvalResult, error) {
+	res := &EvalResult{
+		Values:    make([]int64, len(g.Nodes)),
+		Outputs:   make(map[string]int64),
+		NextState: make(Env),
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch n.Op {
+		case Input, State:
+			v, ok := env[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("cdfg: eval: no value for %s node %q", n.Op, n.Name)
+			}
+			res.Values[i] = v
+		case Const:
+			res.Values[i] = n.ConstVal
+		case Add:
+			res.Values[i] = res.Values[n.Args[0]] + res.Values[n.Args[1]]
+		case Sub:
+			res.Values[i] = res.Values[n.Args[0]] - res.Values[n.Args[1]]
+		case Mul:
+			res.Values[i] = res.Values[n.Args[0]] * res.Values[n.Args[1]]
+		case Output:
+			res.Outputs[n.Name] = res.Values[n.Args[0]]
+		default:
+			return nil, fmt.Errorf("cdfg: eval: node %q has invalid op", n.Name)
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op == State && n.Next != NoNode {
+			res.NextState[n.Name] = res.Values[n.Next]
+		}
+	}
+	return res, nil
+}

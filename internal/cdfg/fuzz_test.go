@@ -1,0 +1,33 @@
+package cdfg
+
+import "testing"
+
+// FuzzParseJSON checks the CDFG parser never panics and that every
+// graph it accepts validates and round-trips.
+func FuzzParseJSON(f *testing.F) {
+	// Seed with the real schema in several shapes.
+	f.Add(`{"name":"t","nodes":[{"name":"a","op":"input"},{"name":"b","op":"input"},{"name":"s","op":"add","args":["a","b"]},{"name":"o","op":"output","args":["s"]}]}`)
+	f.Add(`{"name":"loop","nodes":[{"name":"in","op":"input"},{"name":"sv","op":"state","next":"s"},{"name":"k","op":"const","const":3},{"name":"m","op":"mul","args":["sv","k"]},{"name":"s","op":"add","args":["in","m"]}]}`)
+	f.Add(`{"name":"","nodes":[]}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","nodes":[{"name":"a","op":"add","args":["a","a"]}]}`)
+	f.Add(`{"name":"x","nodes":[{"name":"a","op":"state","next":"zzz"}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ParseJSON([]byte(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ParseJSON accepted an invalid graph: %v", err)
+		}
+		// Round trip must re-parse.
+		out, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted graph fails to marshal: %v", err)
+		}
+		if _, err := ParseJSON(out); err != nil {
+			t.Fatalf("round trip fails to parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package cdfg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the on-disk form of a Graph. Node references are by name
+// so files can be authored by hand.
+type jsonGraph struct {
+	Name   string     `json:"name"`
+	Cyclic bool       `json:"cyclic,omitempty"`
+	Nodes  []jsonNode `json:"nodes"`
+}
+
+type jsonNode struct {
+	Name  string   `json:"name"`
+	Op    string   `json:"op"`
+	Args  []string `json:"args,omitempty"`
+	Const int64    `json:"const,omitempty"`
+	Next  string   `json:"next,omitempty"`
+}
+
+var opNames = map[string]Op{
+	"add": Add, "sub": Sub, "mul": Mul,
+	"input": Input, "const": Const, "state": State, "output": Output,
+}
+
+// MarshalJSON encodes the graph in the hand-authorable JSON schema.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Cyclic: g.Cyclic}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		jn := jsonNode{Name: n.Name, Op: n.Op.String(), Const: n.ConstVal}
+		for _, a := range n.Args {
+			jn.Args = append(jn.Args, g.Nodes[a].Name)
+		}
+		if n.Next != NoNode {
+			jn.Next = g.Nodes[n.Next].Name
+		}
+		jg.Nodes = append(jg.Nodes, jn)
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// ParseJSON decodes a graph from the JSON schema produced by
+// MarshalJSON. Nodes must appear in dependency order (producers before
+// consumers); State.Next may reference any node.
+func ParseJSON(data []byte) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, fmt.Errorf("cdfg: %w", err)
+	}
+	g := New(jg.Name)
+	byName := make(map[string]NodeID, len(jg.Nodes))
+	resolve := func(name string) (NodeID, error) {
+		id, ok := byName[name]
+		if !ok {
+			return NoNode, fmt.Errorf("cdfg: reference to undefined node %q", name)
+		}
+		return id, nil
+	}
+	type fixup struct {
+		state NodeID
+		next  string
+	}
+	var fixups []fixup
+	for _, jn := range jg.Nodes {
+		op, ok := opNames[jn.Op]
+		if !ok {
+			return nil, fmt.Errorf("cdfg: node %q: unknown op %q", jn.Name, jn.Op)
+		}
+		args := make([]NodeID, 0, len(jn.Args))
+		for _, a := range jn.Args {
+			id, err := resolve(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, id)
+		}
+		if _, dup := byName[jn.Name]; dup {
+			return nil, fmt.Errorf("cdfg: duplicate node name %q", jn.Name)
+		}
+		id := g.add(Node{Op: op, Name: jn.Name, Args: args, ConstVal: jn.Const, Next: NoNode})
+		byName[jn.Name] = id
+		if jn.Next != "" {
+			fixups = append(fixups, fixup{state: id, next: jn.Next})
+		}
+	}
+	for _, f := range fixups {
+		id, err := resolve(f.next)
+		if err != nil {
+			return nil, err
+		}
+		g.SetNext(f.state, id)
+	}
+	g.Cyclic = jg.Cyclic || len(fixups) > 0
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("cdfg: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"salsa/internal/binding"
+)
+
+// improve runs the paper's iterative improvement scheme (§4): several
+// trials, each attempting a fixed number of random moves; cost-
+// decreasing moves are always kept, a fixed quota of cost-increasing
+// moves is accepted at the start of each trial (moving the search to a
+// new neighborhood), after which only downhill moves are taken. The
+// best allocation seen anywhere is recorded and returned. The search
+// stops after StallTrials successive trials without improvement.
+//
+// With opts.Anneal the acceptance rule switches to simulated annealing
+// (Metropolis criterion with geometric cooling across trials) — the
+// approach the paper reports as inferior; it is retained as an ablation.
+func improve(b *binding.Binding, initCost binding.Cost, opts Options) (*Result, error) {
+	rng := newRNG(opts.Seed)
+	mv := newMover(b, opts, rng)
+
+	cur := b
+	curCost := initCost
+	best := b.Clone()
+	bestCost := initCost
+	bestIC, _, err := best.Eval()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	stall := 0
+	temp := opts.AnnealT0
+	maxUp := opts.MaxUphillDelta
+	if maxUp <= 0 {
+		maxUp = opts.Cfg.Wmux + 2
+	}
+	for trial := 0; trial < opts.MaxTrials; trial++ {
+		res.Trials++
+		if trial > 0 {
+			// Each trial restarts its walk from the best allocation so
+			// the uphill quota explores around it instead of drifting.
+			cur = best.Clone()
+			curCost = bestCost
+		}
+		uphillLeft := opts.UphillQuota
+		improved := false
+		for i := 0; i < opts.MovesPerTrial; i++ {
+			res.MovesTried++
+			cand := cur.Clone()
+			if !mv.apply(cand, mv.pickKind()) {
+				continue
+			}
+			ic, cost, err := cand.Eval()
+			if err != nil {
+				// A move produced an unevaluable binding: a bug, not a
+				// search dead end.
+				return nil, fmt.Errorf("core: move produced illegal binding: %w", err)
+			}
+			accept := false
+			switch {
+			case cost.Total <= curCost.Total:
+				accept = true
+			case opts.Anneal:
+				delta := float64(cost.Total - curCost.Total)
+				accept = temp > 0 && rng.Float64() < math.Exp(-delta/temp)
+			case uphillLeft > 0 && cost.Total-curCost.Total <= maxUp:
+				uphillLeft--
+				accept = true
+			}
+			if !accept {
+				continue
+			}
+			if opts.Paranoid {
+				if err := cand.Check(); err != nil {
+					return nil, fmt.Errorf("core: accepted illegal binding: %w", err)
+				}
+			}
+			res.MovesAccepted++
+			cur = cand
+			curCost = cost
+			if cost.Total < bestCost.Total {
+				best = cand.Clone()
+				bestCost = cost
+				bestIC = ic
+				improved = true
+			}
+		}
+		if opts.Anneal {
+			temp *= 0.85
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+			if stall >= opts.StallTrials {
+				break
+			}
+		}
+	}
+
+	// Deterministic downhill polish over the systematic single-move
+	// neighborhood, then report with the merged multiplexer count.
+	best, bestCost, bestIC = polish(best, bestCost, opts)
+	if opts.Paranoid {
+		if err := best.Check(); err != nil {
+			return nil, fmt.Errorf("core: polish produced illegal binding: %w", err)
+		}
+	}
+	res.Binding = best
+	res.Cost = bestCost
+	res.IC = bestIC
+	res.MergedMux = bestIC.MergedMuxCost()
+	return res, nil
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"math/rand"
+
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/lifetime"
+	"salsa/internal/sched"
+)
+
+// moveKind enumerates the paper's Table 1.
+type moveKind int
+
+const (
+	moveFUExchange     moveKind = iota // F1
+	moveFUMove                         // F2
+	moveOperandReverse                 // F3
+	moveBindPass                       // F4
+	moveUnbindPass                     // F5
+	moveSegExchange                    // R1
+	moveSegMove                        // R2
+	moveValueExchange                  // R3
+	moveValueMove                      // R4
+	moveValueSplit                     // R5
+	moveValueMerge                     // R6
+	numMoveKinds
+)
+
+var moveNames = [numMoveKinds]string{
+	"F1:fu-exchange", "F2:fu-move", "F3:operand-reverse",
+	"F4:bind-pass", "F5:unbind-pass",
+	"R1:seg-exchange", "R2:seg-move", "R3:value-exchange",
+	"R4:value-move", "R5:value-split", "R6:value-merge",
+}
+
+func (m moveKind) String() string { return moveNames[m] }
+
+// moveWeights biases random selection; complex value-level moves are
+// picked less often to control run time (§4).
+var moveWeights = [numMoveKinds]int{
+	moveFUExchange:     8,
+	moveFUMove:         12,
+	moveOperandReverse: 10,
+	moveBindPass:       8,
+	moveUnbindPass:     4,
+	moveSegExchange:    6,
+	moveSegMove:        8,
+	moveValueExchange:  6,
+	moveValueMove:      6,
+	moveValueSplit:     4,
+	moveValueMerge:     4,
+}
+
+// mover bundles the binding under mutation with cached lookups.
+type mover struct {
+	b    *binding.Binding
+	rng  *rand.Rand
+	opts Options
+
+	arithOps   []cdfg.NodeID
+	commOps    []cdfg.NodeID
+	valueIDs   []lifetime.ValueID
+	enabled    []moveKind
+	weightsSum int
+	weights    []int
+}
+
+func newMover(b *binding.Binding, opts Options, rng *rand.Rand) *mover {
+	m := &mover{b: b, rng: rng, opts: opts}
+	g := b.A.Sched.G
+	for i := range g.Nodes {
+		if g.Nodes[i].Op.IsArith() {
+			m.arithOps = append(m.arithOps, cdfg.NodeID(i))
+			if g.Nodes[i].Op.Commutative() {
+				m.commOps = append(m.commOps, cdfg.NodeID(i))
+			}
+		}
+	}
+	for i := range b.A.Values {
+		m.valueIDs = append(m.valueIDs, lifetime.ValueID(i))
+	}
+	for k := moveKind(0); k < numMoveKinds; k++ {
+		switch k {
+		case moveBindPass, moveUnbindPass:
+			if !opts.EnablePass {
+				continue
+			}
+		case moveSegExchange, moveSegMove:
+			if !opts.EnableSegments {
+				continue
+			}
+		case moveValueSplit, moveValueMerge:
+			if !opts.EnableSplit {
+				continue
+			}
+		}
+		m.enabled = append(m.enabled, k)
+		m.weights = append(m.weights, moveWeights[k])
+		m.weightsSum += moveWeights[k]
+	}
+	return m
+}
+
+// pickKind draws a move kind from the weighted distribution.
+func (m *mover) pickKind() moveKind {
+	x := m.rng.Intn(m.weightsSum)
+	for i, w := range m.weights {
+		if x < w {
+			return m.enabled[i]
+		}
+		x -= w
+	}
+	return m.enabled[len(m.enabled)-1]
+}
+
+// apply mutates nb (a clone of the current binding) with one random
+// instance of kind. It reports whether a mutation happened; callers
+// evaluate and accept/reject.
+func (m *mover) apply(nb *binding.Binding, kind moveKind) bool {
+	switch kind {
+	case moveFUExchange:
+		return m.fuExchange(nb)
+	case moveFUMove:
+		return m.fuMove(nb)
+	case moveOperandReverse:
+		return m.operandReverse(nb)
+	case moveBindPass:
+		return m.bindPass(nb)
+	case moveUnbindPass:
+		return m.unbindPass(nb)
+	case moveSegExchange:
+		return m.segExchange(nb)
+	case moveSegMove:
+		return m.segMove(nb)
+	case moveValueExchange:
+		return m.valueExchange(nb)
+	case moveValueMove:
+		return m.valueMove(nb)
+	case moveValueSplit:
+		return m.valueSplit(nb)
+	case moveValueMerge:
+		return m.valueMerge(nb)
+	}
+	return false
+}
+
+// fuExchange (F1) swaps the complete bindings of two same-class FUs.
+func (m *mover) fuExchange(nb *binding.Binding) bool {
+	c := sched.Class(m.rng.Intn(int(sched.NumClasses)))
+	fus := nb.HW.FUsOfClass(c)
+	if len(fus) < 2 {
+		return false
+	}
+	i := m.rng.Intn(len(fus))
+	j := m.rng.Intn(len(fus) - 1)
+	if j >= i {
+		j++
+	}
+	f1, f2 := fus[i], fus[j]
+	for o := range nb.OpFU {
+		switch nb.OpFU[o] {
+		case f1:
+			nb.OpFU[o] = f2
+		case f2:
+			nb.OpFU[o] = f1
+		}
+	}
+	for tk, f := range nb.Pass {
+		switch f {
+		case f1:
+			nb.Pass[tk] = f2
+		case f2:
+			nb.Pass[tk] = f1
+		}
+	}
+	nb.PrunePass()
+	return true
+}
+
+// fuMove (F2) reassigns one operator to another unit of its class that
+// is free over the operator's initiation window.
+func (m *mover) fuMove(nb *binding.Binding) bool {
+	op := m.arithOps[m.rng.Intn(len(m.arithOps))]
+	g := nb.A.Sched.G
+	s := nb.A.Sched
+	c := sched.ClassOf(g.Nodes[op].Op)
+	fus := nb.HW.FUsOfClass(c)
+	if len(fus) < 2 {
+		return false
+	}
+	occ, err := nb.FUOccupancy()
+	if err != nil {
+		return false
+	}
+	cur := nb.OpFU[op]
+	st := s.Start[op]
+	ii := s.Delays.IIOf(g.Nodes[op].Op)
+	// Random rotation over candidate FUs.
+	off := m.rng.Intn(len(fus))
+	for d := 0; d < len(fus); d++ {
+		f := fus[(off+d)%len(fus)]
+		if f == cur {
+			continue
+		}
+		free := true
+		for t := st; t < st+ii; t++ {
+			if occ.Issue[f][t] != cdfg.NoNode {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		nb.OpFU[op] = f
+		nb.PrunePass() // passes on f may now clash with the new op
+		return true
+	}
+	return false
+}
+
+// operandReverse (F3) flips the input order of one commutative operator.
+func (m *mover) operandReverse(nb *binding.Binding) bool {
+	if len(m.commOps) == 0 {
+		return false
+	}
+	op := m.commOps[m.rng.Intn(len(m.commOps))]
+	nb.OpSwap[op] = !nb.OpSwap[op]
+	return true
+}
+
+// bindPass (F4) assigns a slack operator (data transfer) to an idle
+// pass-capable FU.
+func (m *mover) bindPass(nb *binding.Binding) bool {
+	transfers := nb.Transfers()
+	if len(transfers) == 0 {
+		return false
+	}
+	occ, err := nb.FUOccupancy()
+	if err != nil {
+		return false
+	}
+	off := m.rng.Intn(len(transfers))
+	for d := 0; d < len(transfers); d++ {
+		tk := transfers[(off+d)%len(transfers)]
+		if _, bound := nb.Pass[tk]; bound {
+			continue
+		}
+		t := nb.A.Values[tk.V].StepAt(tk.K-1, nb.A.StorageSteps)
+		var cands []int
+		for f := range nb.HW.FUs {
+			if nb.FUPassFree(occ, f, t, tk) {
+				cands = append(cands, f)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		nb.Pass[tk] = cands[m.rng.Intn(len(cands))]
+		return true
+	}
+	return false
+}
+
+// unbindPass (F5) removes one pass-through binding.
+func (m *mover) unbindPass(nb *binding.Binding) bool {
+	if len(nb.Pass) == 0 {
+		return false
+	}
+	// Deterministic selection from the map: collect and sort by key.
+	keys := make([]binding.TransferKey, 0, len(nb.Pass))
+	for tk := range nb.Pass {
+		keys = append(keys, tk)
+	}
+	sortTransferKeys(keys)
+	delete(nb.Pass, keys[m.rng.Intn(len(keys))])
+	return true
+}
+
+// segExchange (R1) swaps the registers of two segments in one step.
+func (m *mover) segExchange(nb *binding.Binding) bool {
+	occ, err := nb.RegOccupancy()
+	if err != nil {
+		return false
+	}
+	t := m.rng.Intn(nb.A.StorageSteps)
+	var regs []int
+	for r := range occ {
+		if occ[r][t] != lifetime.NoValue {
+			regs = append(regs, r)
+		}
+	}
+	if len(regs) < 2 {
+		return false
+	}
+	i := m.rng.Intn(len(regs))
+	j := m.rng.Intn(len(regs) - 1)
+	if j >= i {
+		j++
+	}
+	r1, r2 := regs[i], regs[j]
+	v1, v2 := occ[r1][t], occ[r2][t]
+	if v1 == v2 {
+		return false // two copies of one value: swapping is a no-op
+	}
+	m.rebindHolder(nb, v1, t, r1, r2)
+	m.rebindHolder(nb, v2, t, r2, r1)
+	nb.PrunePass()
+	return true
+}
+
+// rebindHolder changes which register holds value v at step t: from -> to.
+func (m *mover) rebindHolder(nb *binding.Binding, v lifetime.ValueID, t, from, to int) {
+	k, ok := nb.A.Values[v].LiveAt(t, nb.A.StorageSteps)
+	if !ok {
+		return
+	}
+	if nb.SegReg[v][k] == from {
+		nb.SegReg[v][k] = to
+		return
+	}
+	if nb.RemoveCopy(v, k, from) {
+		nb.AddCopy(v, k, to)
+	}
+}
+
+// segMove (R2) reassigns value segments to an unused register. One
+// third of the time it moves a single segment; otherwise it moves the
+// whole suffix of the chain starting at a random position, which
+// introduces exactly one new transfer and is how a value migrates
+// registers mid-life in the extended model.
+func (m *mover) segMove(nb *binding.Binding) bool {
+	occ, err := nb.RegOccupancy()
+	if err != nil {
+		return false
+	}
+	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
+	val := &nb.A.Values[v]
+	k := m.rng.Intn(val.Len)
+	t := val.StepAt(k, nb.A.StorageSteps)
+	var free []int
+	for r := range occ {
+		if occ[r][t] == lifetime.NoValue {
+			free = append(free, r)
+		}
+	}
+	if len(free) == 0 {
+		return false
+	}
+	to := free[m.rng.Intn(len(free))]
+
+	if m.rng.Intn(3) > 0 {
+		// Suffix move: primary segments k..Len-1 all go to `to`,
+		// stopping early if `to` is occupied by another value.
+		moved := 0
+		for kk := k; kk < val.Len; kk++ {
+			tt := val.StepAt(kk, nb.A.StorageSteps)
+			holder := occ[to][tt]
+			if holder != lifetime.NoValue && holder != v {
+				break
+			}
+			if nb.SegReg[v][kk] == to {
+				break // already there: joining an existing tail
+			}
+			// Drop a colliding copy of v itself before taking the slot.
+			nb.RemoveCopy(v, kk, to)
+			nb.SegReg[v][kk] = to
+			moved++
+		}
+		if moved == 0 {
+			return false
+		}
+		nb.PrunePass()
+		return true
+	}
+
+	// Single-segment move of the primary, or of a copy half the time
+	// when one exists.
+	holders := nb.HoldersAt(v, k)
+	from := holders[0]
+	if len(holders) > 1 && m.rng.Intn(2) == 0 {
+		from = holders[1+m.rng.Intn(len(holders)-1)]
+	}
+	m.rebindHolder(nb, v, t, from, to)
+	nb.PrunePass()
+	return true
+}
+
+// valueExchange (R3) swaps the primary register bindings of two values
+// wherever both are live; rejected if the result is illegal.
+func (m *mover) valueExchange(nb *binding.Binding) bool {
+	if len(m.valueIDs) < 2 {
+		return false
+	}
+	i := m.rng.Intn(len(m.valueIDs))
+	j := m.rng.Intn(len(m.valueIDs) - 1)
+	if j >= i {
+		j++
+	}
+	v1, v2 := m.valueIDs[i], m.valueIDs[j]
+	val1, val2 := &nb.A.Values[v1], &nb.A.Values[v2]
+	if !m.opts.EnableSegments {
+		// Whole-value semantics: swap the two registers wholesale so
+		// contiguity is preserved under the traditional model.
+		r1, r2 := nb.SegReg[v1][0], nb.SegReg[v2][0]
+		if r1 == r2 {
+			return false
+		}
+		for k := range nb.SegReg[v1] {
+			nb.SegReg[v1][k] = r2
+		}
+		for k := range nb.SegReg[v2] {
+			nb.SegReg[v2][k] = r1
+		}
+	} else {
+		for k := 0; k < val1.Len; k++ {
+			t := val1.StepAt(k, nb.A.StorageSteps)
+			if k2, ok := val2.LiveAt(t, nb.A.StorageSteps); ok {
+				nb.SegReg[v1][k], nb.SegReg[v2][k2] = nb.SegReg[v2][k2], nb.SegReg[v1][k]
+			}
+		}
+	}
+	if _, err := nb.RegOccupancy(); err != nil {
+		return false // engine discards the clone
+	}
+	nb.PrunePass()
+	return true
+}
+
+// valueMove (R4) reassigns all segments of one value to a single
+// register; rejected if the register is not free across the lifetime.
+func (m *mover) valueMove(nb *binding.Binding) bool {
+	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
+	r := m.rng.Intn(len(nb.HW.Regs))
+	val := &nb.A.Values[v]
+	for k := 0; k < val.Len; k++ {
+		// Drop copies that would collide with the new primary.
+		nb.RemoveCopy(v, k, r)
+		nb.SegReg[v][k] = r
+	}
+	if _, err := nb.RegOccupancy(); err != nil {
+		return false
+	}
+	nb.PrunePass()
+	return true
+}
+
+// valueSplit (R5) stores a copy of one value segment in a free register.
+func (m *mover) valueSplit(nb *binding.Binding) bool {
+	occ, err := nb.RegOccupancy()
+	if err != nil {
+		return false
+	}
+	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
+	val := &nb.A.Values[v]
+	k := m.rng.Intn(val.Len)
+	t := val.StepAt(k, nb.A.StorageSteps)
+	var free []int
+	for r := range occ {
+		if occ[r][t] == lifetime.NoValue {
+			free = append(free, r)
+		}
+	}
+	if len(free) == 0 {
+		return false
+	}
+	nb.AddCopy(v, k, free[m.rng.Intn(len(free))])
+	// The copy may erase an adjacent transfer (the value now already
+	// sits in the pass target's register), invalidating its binding.
+	nb.PrunePass()
+	return true
+}
+
+// valueMerge (R6) eliminates one copy segment.
+func (m *mover) valueMerge(nb *binding.Binding) bool {
+	if nb.NumCopies() == 0 {
+		return false
+	}
+	type copyRef struct {
+		key binding.SegKey
+		reg int
+	}
+	var all []copyRef
+	for _, v := range m.valueIDs {
+		val := &nb.A.Values[v]
+		for k := 0; k < val.Len; k++ {
+			for _, r := range nb.Copies[binding.SegKey{V: v, K: k}] {
+				all = append(all, copyRef{binding.SegKey{V: v, K: k}, r})
+			}
+		}
+	}
+	if len(all) == 0 {
+		return false
+	}
+	c := all[m.rng.Intn(len(all))]
+	nb.RemoveCopy(c.key.V, c.key.K, c.reg)
+	nb.PrunePass()
+	return true
+}
+
+func sortTransferKeys(keys []binding.TransferKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessTK(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func lessTK(a, b binding.TransferKey) bool {
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	if a.K != b.K {
+		return a.K < b.K
+	}
+	return a.ToReg < b.ToReg
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/datapath"
+	"salsa/internal/lifetime"
+	"salsa/internal/sched"
+)
+
+// polish runs deterministic downhill sweeps over the systematic
+// single-move neighborhood of the allocation — every whole-value
+// re-registration, every operator re-assignment, every operand
+// reversal, and every pass-through bind/unbind — applying each
+// improving move immediately and repeating until a full sweep finds
+// nothing. The randomized search handles the combinatorial moves; this
+// pass guarantees the cheap single-move optima are never left on the
+// table.
+func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Binding, binding.Cost, *datapath.Interconnect) {
+	ic, _, err := b.Eval()
+	if err != nil {
+		return b, cost, nil
+	}
+	best := b
+	bestCost := cost
+	bestIC := ic
+
+	try := func(cand *binding.Binding) bool {
+		candIC, candCost, err := cand.Eval()
+		if err != nil {
+			return false
+		}
+		if candCost.Total < bestCost.Total {
+			best = cand
+			bestCost = candCost
+			bestIC = candIC
+			return true
+		}
+		return false
+	}
+
+	g := b.A.Sched.G
+	for sweep := 0; sweep < 20; sweep++ {
+		improved := false
+
+		// Whole-value moves (R4 over every target register).
+		for v := range best.A.Values {
+			for r := range best.HW.Regs {
+				if best.SegReg[v][0] == r {
+					continue
+				}
+				cand := best.Clone()
+				ok := true
+				for k := range cand.SegReg[v] {
+					cand.RemoveCopy(cand.A.Values[v].ID, k, r)
+					cand.SegReg[v][k] = r
+				}
+				if _, err := cand.RegOccupancy(); err != nil {
+					ok = false
+				}
+				if ok {
+					cand.PrunePass()
+					if try(cand) {
+						improved = true
+					}
+				}
+			}
+		}
+
+		// Suffix moves (the extended model's cheapest value-migration
+		// primitive: one new transfer), over every split point and
+		// target register.
+		if opts.EnableSegments {
+			occ, err := best.RegOccupancy()
+			if err == nil {
+				for v := range best.A.Values {
+					val := &best.A.Values[v]
+					for k := 1; k < val.Len; k++ {
+						for r := range best.HW.Regs {
+							if best.SegReg[v][k] == r {
+								continue
+							}
+							// Target must be free (or already ours) over
+							// the whole suffix.
+							ok := true
+							for kk := k; kk < val.Len; kk++ {
+								t := val.StepAt(kk, best.A.StorageSteps)
+								if h := occ[r][t]; h != lifetime.NoValue && h != lifetime.ValueID(v) {
+									ok = false
+									break
+								}
+							}
+							if !ok {
+								continue
+							}
+							cand := best.Clone()
+							for kk := k; kk < val.Len; kk++ {
+								cand.RemoveCopy(lifetime.ValueID(v), kk, r)
+								cand.SegReg[v][kk] = r
+							}
+							if _, err := cand.RegOccupancy(); err != nil {
+								continue
+							}
+							cand.PrunePass()
+							if try(cand) {
+								improved = true
+								occ, err = best.RegOccupancy()
+								if err != nil {
+									break
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Operator moves (F2 over every compatible FU) and reversals (F3).
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			if !n.Op.IsArith() {
+				continue
+			}
+			occ, err := best.FUOccupancy()
+			if err != nil {
+				break
+			}
+			st := best.A.Sched.Start[i]
+			ii := best.A.Sched.Delays.IIOf(n.Op)
+			for _, f := range best.HW.FUsOfClass(sched.ClassOf(n.Op)) {
+				if f == best.OpFU[i] {
+					continue
+				}
+				free := true
+				for t := st; t < st+ii; t++ {
+					if occ.Issue[f][t] != cdfg.NoNode {
+						free = false
+						break
+					}
+				}
+				if !free {
+					continue
+				}
+				cand := best.Clone()
+				cand.OpFU[i] = f
+				cand.PrunePass()
+				if try(cand) {
+					improved = true
+					break
+				}
+			}
+			if n.Op.Commutative() {
+				cand := best.Clone()
+				cand.OpSwap[i] = !cand.OpSwap[i]
+				if try(cand) {
+					improved = true
+				}
+			}
+		}
+
+		// Pass-through binds (F4) and unbinds (F5).
+		if opts.EnablePass {
+			occ, err := best.FUOccupancy()
+			if err == nil {
+				for _, tk := range best.Transfers() {
+					if _, bound := best.Pass[tk]; bound {
+						continue
+					}
+					t := best.A.Values[tk.V].StepAt(tk.K-1, best.A.StorageSteps)
+					for f := range best.HW.FUs {
+						if !best.FUPassFree(occ, f, t, tk) {
+							continue
+						}
+						cand := best.Clone()
+						cand.Pass[tk] = f
+						if try(cand) {
+							improved = true
+							break
+						}
+					}
+				}
+			}
+			keys := make([]binding.TransferKey, 0, len(best.Pass))
+			for tk := range best.Pass {
+				keys = append(keys, tk)
+			}
+			sortTransferKeys(keys)
+			for _, tk := range keys {
+				cand := best.Clone()
+				delete(cand.Pass, tk)
+				if try(cand) {
+					improved = true
+				}
+			}
+		}
+
+		// Copy removals (R6): copies that stopped paying for themselves.
+		if opts.EnableSplit {
+			for v := range best.A.Values {
+				val := &best.A.Values[v]
+				for k := 0; k < val.Len; k++ {
+					for _, r := range append([]int(nil), best.Copies[binding.SegKey{V: val.ID, K: k}]...) {
+						cand := best.Clone()
+						cand.RemoveCopy(val.ID, k, r)
+						cand.PrunePass()
+						if try(cand) {
+							improved = true
+						}
+					}
+				}
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+	return best, bestCost, bestIC
+}

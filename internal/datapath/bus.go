@@ -1,0 +1,137 @@
+package datapath
+
+import "sort"
+
+// Bus-oriented interconnect style (the paper's reference [6], raised
+// again in §7 as the direction for improving on the point-to-point
+// model): module outputs drive buses, and each module input selects
+// among the buses that carry its sources through a single level of
+// multiplexing. A bus carries at most one value per control step, and a
+// source broadcast on a bus reaches every listening sink in that step.
+//
+// BusAllocation assigns every cost-bearing source to one bus by
+// first-fit over transmission-step conflicts: two sources share a bus
+// exactly when they never transmit in the same control step. The number
+// of buses is therefore lower-bounded by the bus pressure (the maximum
+// number of distinct sources transmitting in one step), which the
+// greedy always achieves on interval-free conflict sets and approaches
+// otherwise.
+type BusAllocation struct {
+	// Buses is the number of buses allocated.
+	Buses int
+	// BusOf maps each transmitting source to its bus.
+	BusOf map[Source]int
+	// MuxCost is the equivalent 2-1 multiplexer count at the sinks:
+	// each sink selects among the distinct buses carrying its sources.
+	MuxCost int
+	// Drivers is the number of source-to-bus connections (tri-state or
+	// OR-tree drivers in a physical design).
+	Drivers int
+	// Pressure is the per-step lower bound on the bus count.
+	Pressure int
+}
+
+// AllocateBuses derives a bus-style implementation of the interconnect.
+// Constant sources are excluded (hardwired operands, as in the
+// point-to-point cost model).
+func (ic *Interconnect) AllocateBuses() *BusAllocation {
+	// Gather each source's transmission steps and each sink's sources.
+	txSteps := make(map[Source]map[int]bool)
+	var sources []Source
+	for i := range ic.nets {
+		n := &ic.nets[i]
+		for t := range n.needSet {
+			if !n.needSet[t] {
+				continue
+			}
+			src := n.needSrc[t]
+			if src.Kind == SrcConst {
+				continue
+			}
+			if txSteps[src] == nil {
+				txSteps[src] = make(map[int]bool)
+				sources = append(sources, src)
+			}
+			txSteps[src][t] = true
+		}
+	}
+	sort.Slice(sources, func(i, j int) bool {
+		// Busiest sources first (first-fit decreasing), then
+		// deterministic identity order.
+		li, lj := len(txSteps[sources[i]]), len(txSteps[sources[j]])
+		if li != lj {
+			return li > lj
+		}
+		if sources[i].Kind != sources[j].Kind {
+			return sources[i].Kind < sources[j].Kind
+		}
+		return sources[i].Index < sources[j].Index
+	})
+
+	ba := &BusAllocation{BusOf: make(map[Source]int)}
+	// busBusy[b] is the set of steps bus b already transmits in.
+	var busBusy []map[int]bool
+	for _, src := range sources {
+		placed := false
+		for b := range busBusy {
+			ok := true
+			for t := range txSteps[src] {
+				if busBusy[b][t] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for t := range txSteps[src] {
+					busBusy[b][t] = true
+				}
+				ba.BusOf[src] = b
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			b := len(busBusy)
+			busy := make(map[int]bool, len(txSteps[src]))
+			for t := range txSteps[src] {
+				busy[t] = true
+			}
+			busBusy = append(busBusy, busy)
+			ba.BusOf[src] = b
+		}
+		ba.Drivers++
+	}
+	ba.Buses = len(busBusy)
+
+	// Sink multiplexers over buses.
+	for i := range ic.nets {
+		n := &ic.nets[i]
+		buses := make(map[int]bool)
+		for _, src := range n.srcs {
+			if src.Kind == SrcConst {
+				continue
+			}
+			buses[ba.BusOf[src]] = true
+		}
+		if len(buses) > 1 {
+			ba.MuxCost += len(buses) - 1
+		}
+	}
+
+	// Bus pressure: per-step distinct transmitting sources.
+	perStep := make(map[int]map[Source]bool)
+	for src, steps := range txSteps {
+		for t := range steps {
+			if perStep[t] == nil {
+				perStep[t] = make(map[Source]bool)
+			}
+			perStep[t][src] = true
+		}
+	}
+	for _, set := range perStep {
+		if len(set) > ba.Pressure {
+			ba.Pressure = len(set)
+		}
+	}
+	return ba
+}

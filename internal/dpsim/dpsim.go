@@ -1,0 +1,345 @@
+// Package dpsim executes a bound datapath cycle by cycle and checks it
+// against the CDFG reference semantics. Registers are loaded only
+// through the connections the binding implies — producer writes,
+// register-to-register transfers, pass-throughs — so a simulation pass
+// validates that the allocation (including value segmentation, copies
+// and No-Op pass-through bindings) preserves the computation exactly.
+package dpsim
+
+import (
+	"fmt"
+
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/lifetime"
+)
+
+// Result reports one simulated iteration.
+type Result struct {
+	Outputs map[string]int64
+}
+
+// Sim holds simulation state across iterations of a loop body.
+type Sim struct {
+	b *binding.Binding
+	g *cdfg.Graph
+
+	regs  []int64
+	valid []bool
+
+	// fuResult holds, per op node, the value its FU produces this
+	// iteration (latched operands, result at the finish edge).
+	fuResult []int64
+
+	// pending output reads from wrapped Output nodes: name -> expected
+	// at the next iteration's read step.
+	iter int
+}
+
+// New prepares a simulator for the binding. The binding must be legal
+// (Check passes); simulation reports an error otherwise.
+func New(b *binding.Binding) (*Sim, error) {
+	if err := b.Check(); err != nil {
+		return nil, fmt.Errorf("dpsim: illegal binding: %w", err)
+	}
+	return &Sim{
+		b:        b,
+		g:        b.A.Sched.G,
+		regs:     make([]int64, len(b.HW.Regs)),
+		valid:    make([]bool, len(b.HW.Regs)),
+		fuResult: make([]int64, len(b.A.Sched.G.Nodes)),
+	}, nil
+}
+
+// preload places the initial loop-state contents into the registers
+// holding each state-merged value at step 0, bootstrapping iteration 0.
+func (s *Sim) preload(env cdfg.Env) error {
+	a := s.b.A
+	for i := range a.Values {
+		v := &a.Values[i]
+		if v.State == cdfg.NoNode {
+			continue
+		}
+		k, ok := v.LiveAt(0, a.StorageSteps)
+		if !ok {
+			continue
+		}
+		val, present := env[v.Name]
+		if !present {
+			return fmt.Errorf("dpsim: no initial value for state %s", v.Name)
+		}
+		for _, r := range s.b.HoldersAt(v.ID, k) {
+			s.regs[r] = val
+			s.valid[r] = true
+		}
+	}
+	return nil
+}
+
+// readValue fetches value vid at control step t from its registers,
+// verifying that every copy agrees.
+func (s *Sim) readValue(vid lifetime.ValueID, t int) (int64, error) {
+	a := s.b.A
+	v := &a.Values[vid]
+	k, ok := v.LiveAt(t, a.StorageSteps)
+	if !ok {
+		return 0, fmt.Errorf("dpsim: value %s read at step %d outside live range", v.Name, t)
+	}
+	holders := s.b.HoldersAt(vid, k)
+	first := holders[0]
+	if !s.valid[first] {
+		return 0, fmt.Errorf("dpsim: R%d read at step %d before any load (value %s)", first, t, v.Name)
+	}
+	got := s.regs[first]
+	for _, r := range holders[1:] {
+		if !s.valid[r] || s.regs[r] != got {
+			return 0, fmt.Errorf("dpsim: copies of %s disagree at step %d: R%d=%d vs R%d=%d",
+				v.Name, t, first, got, r, s.regs[r])
+		}
+	}
+	return got, nil
+}
+
+// operand fetches the value of arg as read during step t.
+func (s *Sim) operand(arg cdfg.NodeID, t int, env cdfg.Env) (int64, error) {
+	an := &s.g.Nodes[arg]
+	switch {
+	case an.Op == cdfg.Const:
+		return an.ConstVal, nil
+	case an.Op == cdfg.Input && s.b.A.ValueOf[arg] == lifetime.NoValue:
+		v, ok := env[an.Name]
+		if !ok {
+			return 0, fmt.Errorf("dpsim: no value for input %s", an.Name)
+		}
+		return v, nil
+	default:
+		vid := s.b.A.ValueOf[arg]
+		if vid == lifetime.NoValue {
+			return 0, fmt.Errorf("dpsim: node %s is not readable", an.Name)
+		}
+		return s.readValue(vid, t)
+	}
+}
+
+// Step runs one full iteration (all control steps) of the datapath and
+// cross-checks operand reads and outputs against the reference
+// evaluation. For straight-line graphs call it once; for loops call it
+// repeatedly with per-iteration inputs, threading state via the
+// registers exactly as hardware would.
+func (s *Sim) Step(env cdfg.Env) (*Result, error) {
+	a := s.b.A
+	sch := a.Sched
+	g := s.g
+	T := sch.Steps
+
+	ref, err := g.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	if s.iter == 0 && g.Cyclic {
+		if err := s.preload(env); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Outputs: make(map[string]int64)}
+
+	for t := 0; t < a.StorageSteps; t++ {
+		// Phase 1: reads during step t (from the start-of-step state).
+
+		// Operator issues: latch operands and compute the result now
+		// (it becomes visible only at the finish edge below).
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			if !n.Op.IsArith() || sch.Start[i] != t {
+				continue
+			}
+			var ops [2]int64
+			for port, arg := range n.Args {
+				val, err := s.operand(arg, t, env)
+				if err != nil {
+					return nil, fmt.Errorf("op %s port %d: %w", n.Name, port, err)
+				}
+				if want := ref.Values[arg]; val != want && g.Nodes[arg].Op != cdfg.State {
+					return nil, fmt.Errorf("dpsim: op %s read %d for %s at step %d, reference says %d",
+						n.Name, val, g.Nodes[arg].Name, t, want)
+				}
+				if g.Nodes[arg].Op == cdfg.State {
+					if want := env[g.Nodes[arg].Name]; val != want {
+						return nil, fmt.Errorf("dpsim: op %s read stale state %s=%d at step %d, want %d",
+							n.Name, g.Nodes[arg].Name, val, t, want)
+					}
+				}
+				ops[port] = val
+			}
+			switch n.Op {
+			case cdfg.Add:
+				s.fuResult[i] = ops[0] + ops[1]
+			case cdfg.Sub:
+				s.fuResult[i] = ops[0] - ops[1]
+			case cdfg.Mul:
+				s.fuResult[i] = ops[0] * ops[1]
+			}
+		}
+
+		// Output reads during step t. Outputs born at the wrap edge are
+		// read after the final edge instead (below).
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			if n.Op != cdfg.Output || sch.Start[i] != t {
+				continue
+			}
+			val, err := s.operand(n.Args[0], t, env)
+			if err != nil {
+				return nil, fmt.Errorf("output %s: %w", n.Name, err)
+			}
+			if want := ref.Outputs[n.Name]; val != want {
+				return nil, fmt.Errorf("dpsim: output %s = %d at step %d, reference says %d", n.Name, val, t, want)
+			}
+			res.Outputs[n.Name] = val
+		}
+
+		// Phase 2: the clock edge ending step t (none after the final
+		// storage step of a straight-line graph).
+		if t >= T {
+			continue
+		}
+		type load struct {
+			reg int
+			val int64
+		}
+		var loads []load
+
+		// Transfers into step t+1 segments (including across the wrap).
+		for i := range a.Values {
+			v := &a.Values[i]
+			for k := 1; k < v.Len; k++ {
+				if v.StepAt(k-1, a.StorageSteps) != t {
+					continue
+				}
+				for _, r := range s.b.HoldersAt(v.ID, k) {
+					if s.b.HeldIn(v.ID, k-1, r) {
+						continue // register holds
+					}
+					val, err := s.readValue(v.ID, t)
+					if err != nil {
+						return nil, fmt.Errorf("transfer of %s at step %d: %w", v.Name, t, err)
+					}
+					// A pass-through routes the same value through an
+					// idle FU; contents are identical either way, so the
+					// simulator needs no special case beyond legality,
+					// which Check established.
+					loads = append(loads, load{r, val})
+				}
+			}
+		}
+
+		// Birth writes at this edge.
+		for i := range a.Values {
+			v := &a.Values[i]
+			if a.WriteStep(v) != t {
+				continue
+			}
+			var val int64
+			if pn := &g.Nodes[v.Producer]; pn.Op == cdfg.Input {
+				val = env[pn.Name]
+			} else {
+				if fin := sch.FinishOf(v.Producer); fin-1 != t && (fin-1+a.StorageSteps)%a.StorageSteps != t {
+					return nil, fmt.Errorf("dpsim: internal: %s writes at %d but finishes at %d", v.Name, t, fin)
+				}
+				val = s.fuResult[v.Producer]
+			}
+			for _, r := range s.b.HoldersAt(v.ID, 0) {
+				loads = append(loads, load{r, val})
+			}
+		}
+
+		// Commit the edge.
+		seen := make(map[int]int64, len(loads))
+		for _, l := range loads {
+			if prev, dup := seen[l.reg]; dup && prev != l.val {
+				return nil, fmt.Errorf("dpsim: R%d double-loaded with %d and %d at edge %d", l.reg, prev, l.val, t)
+			}
+			seen[l.reg] = l.val
+			s.regs[l.reg] = l.val
+			s.valid[l.reg] = true
+		}
+	}
+
+	// Outputs born at the wrap edge are physically available right
+	// after the final clock edge; read them now from the registers
+	// (which already hold the start-of-next-iteration state).
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != cdfg.Output {
+			continue
+		}
+		if !g.Cyclic || sch.Start[i] < T {
+			continue
+		}
+		vid := s.b.A.ValueOf[n.Args[0]]
+		if vid == lifetime.NoValue {
+			return nil, fmt.Errorf("dpsim: wrapped output %s has no storage value", n.Name)
+		}
+		val, err := s.readValue(vid, sch.Start[i]%T)
+		if err != nil {
+			return nil, fmt.Errorf("output %s: %w", n.Name, err)
+		}
+		if want := ref.Outputs[n.Name]; val != want {
+			return nil, fmt.Errorf("dpsim: wrapped output %s = %d, reference says %d", n.Name, val, want)
+		}
+		res.Outputs[n.Name] = val
+	}
+
+	// Cross-check loop state for the next iteration.
+	if g.Cyclic {
+		for i := range a.Values {
+			v := &a.Values[i]
+			if v.State == cdfg.NoNode {
+				continue
+			}
+			k, ok := v.LiveAt(0, a.StorageSteps)
+			if !ok {
+				continue
+			}
+			r := s.b.SegReg[i][k]
+			want := ref.NextState[v.Name]
+			if !s.valid[r] || s.regs[r] != want {
+				return nil, fmt.Errorf("dpsim: state %s carries %d into next iteration, reference says %d",
+					v.Name, s.regs[r], want)
+			}
+		}
+	}
+	s.iter++
+	return res, nil
+}
+
+// Run simulates iters iterations with the given per-iteration inputs
+// (reused for every iteration), starting from the initial state in
+// env, and returns the last iteration's outputs. It is a convenience
+// wrapper for tests and examples.
+func Run(b *binding.Binding, env cdfg.Env, iters int) (*Result, error) {
+	sim, err := New(b)
+	if err != nil {
+		return nil, err
+	}
+	cur := cdfg.Env{}
+	for k, v := range env {
+		cur[k] = v
+	}
+	var last *Result
+	for i := 0; i < iters; i++ {
+		ref, err := b.A.Sched.G.Eval(cur)
+		if err != nil {
+			return nil, err
+		}
+		last, err = sim.Step(cur)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		for name, v := range ref.NextState {
+			cur[name] = v
+		}
+	}
+	return last, nil
+}

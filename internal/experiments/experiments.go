@@ -1,0 +1,526 @@
+// Package experiments regenerates the paper's evaluation: Table 2
+// (elliptic wave filter under five schedules and varying register
+// budgets), Table 3 (discrete cosine transform under four schedules),
+// the Figure 3/4 mechanism demonstrations, and ablations of each
+// extension the binding model adds. Every SALSA allocation is
+// cross-checked by cycle-accurate simulation before it is reported.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/core"
+	"salsa/internal/datapath"
+	"salsa/internal/dpsim"
+	"salsa/internal/lifetime"
+	"salsa/internal/sched"
+	"salsa/internal/vsim"
+	"salsa/internal/workloads"
+)
+
+// Row is one table line: a (schedule, register budget) point with the
+// traditional-model baseline and the extended-model result.
+type Row struct {
+	ID        string
+	Workload  string
+	Steps     int
+	Pipelined bool
+	ALUs      int
+	Muls      int
+	MinRegs   int
+	Regs      int // budget given to the allocators
+
+	// Traditional binding model (the "best reported" stand-in).
+	TradFeasible bool
+	TradMux      int // equivalent 2-1 muxes before merging
+	TradMerged   int // after the merging post-pass (the paper's metric)
+	TradRegsUsed int
+
+	// Extended (SALSA) binding model.
+	SalsaMux      int
+	SalsaMerged   int
+	SalsaRegsUsed int
+	Passes        int // pass-through bindings in the final allocation
+	Copies        int // value copy segments in the final allocation
+	Segmented     int // values whose segments span >1 register
+
+	// Bus-style rendering of the extended-model interconnect (the
+	// paper's §7 direction): bus count and sink-side mux cost.
+	SalsaBuses  int
+	SalsaBusMux int
+
+	// Verified is set when the SALSA allocation passed the
+	// cycle-accurate simulation cross-check.
+	Verified bool
+}
+
+// Config tunes an experiment run.
+type Config struct {
+	Seed     int64
+	Restarts int
+	// MovesPerTrial / MaxTrials override the allocator defaults when >0
+	// (used to keep bench runs short).
+	MovesPerTrial int
+	MaxTrials     int
+	// Verify enables the simulation cross-check (on by default in the
+	// full harness; benches may disable it).
+	Verify bool
+}
+
+// Quick returns a configuration sized for tests and benches.
+func Quick(seed int64) Config {
+	return Config{Seed: seed, Restarts: 1, MovesPerTrial: 400, MaxTrials: 6, Verify: true}
+}
+
+// Full returns the configuration used to regenerate the tables in
+// EXPERIMENTS.md.
+func Full(seed int64) Config {
+	return Config{Seed: seed, Restarts: 3, MovesPerTrial: 2500, MaxTrials: 40, Verify: true}
+}
+
+func (c Config) salsaOpts() core.Options {
+	o := core.SALSAOptions(c.Seed)
+	if c.MovesPerTrial > 0 {
+		o.MovesPerTrial = c.MovesPerTrial
+	}
+	if c.MaxTrials > 0 {
+		o.MaxTrials = c.MaxTrials
+	}
+	return o
+}
+
+// Point allocates one (graph, steps, pipelined, register-budget) point
+// under both binding models and returns the comparison row. It is the
+// unit the tables and the root benchmark harness are built from.
+func Point(g *cdfg.Graph, steps int, pipelined bool, extraRegs int, cfg Config) (Row, error) {
+	return runPoint(fmt.Sprintf("%s@%d", g.Name, steps), g, steps, pipelined, extraRegs, cfg)
+}
+
+// runPoint allocates one (graph, steps, pipelined, regBudget) point
+// under both models.
+func runPoint(id string, g *cdfg.Graph, steps int, pipelined bool, extraRegs int, cfg Config) (Row, error) {
+	d := cdfg.DefaultDelays(pipelined)
+	a, lim, err := lifetime.MinFUAnalysis(g, d, steps)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", id, err)
+	}
+	var inputs []string
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Input {
+			inputs = append(inputs, g.Nodes[i].Name)
+		}
+	}
+	budget := a.MinRegs + extraRegs
+	hw := datapath.NewHardware(lim, budget, inputs, true)
+
+	row := Row{
+		ID: id, Workload: g.Name, Steps: steps, Pipelined: pipelined,
+		ALUs: lim[sched.ClassALU], Muls: lim[sched.ClassMul],
+		MinRegs: a.MinRegs, Regs: budget,
+	}
+
+	// Traditional baseline.
+	tOpts := cfg.salsaOpts()
+	tOpts.EnableSegments = false
+	tOpts.EnablePass = false
+	tOpts.EnableSplit = false
+	tRes, tErr := core.AllocateBest(a, hw, tOpts, cfg.Restarts)
+	if tErr == nil {
+		row.TradFeasible = true
+		row.TradMux = tRes.Cost.MuxCost
+		row.TradMerged = tRes.MergedMux
+		row.TradRegsUsed = tRes.Cost.RegsUsed
+	}
+
+	// Extended model: cold restarts plus, when the baseline exists, a
+	// warm start from it (the extended space contains the traditional
+	// one, so the warm run can only match or improve it).
+	sOpts := cfg.salsaOpts()
+	sRes, err := core.AllocateBest(a, hw, sOpts, cfg.Restarts)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", id, err)
+	}
+	// Candidates are ranked by the metric the paper's tables report —
+	// equivalent 2-1 multiplexers after merging — with the raw weighted
+	// cost as the tie-break (the optimizer itself sees only the raw
+	// point-to-point cost; merging is a post-pass).
+	better := func(x, y *core.Result) bool {
+		return x.MergedMux < y.MergedMux ||
+			(x.MergedMux == y.MergedMux && x.Cost.Total < y.Cost.Total)
+	}
+	if tErr == nil {
+		warm := sOpts
+		warm.Initial = tRes.Binding
+		wRes, err := core.Allocate(a, hw, warm)
+		if err == nil && better(wRes, sRes) {
+			sRes = wRes
+		}
+		// The traditional allocation is itself a legal point of the
+		// extended model's space; never report a worse one.
+		if better(tRes, sRes) {
+			sRes = tRes
+		}
+	}
+	row.SalsaMux = sRes.Cost.MuxCost
+	row.SalsaMerged = sRes.MergedMux
+	row.SalsaRegsUsed = sRes.Cost.RegsUsed
+	row.Passes = len(sRes.Binding.Pass)
+	row.Copies = sRes.Binding.NumCopies()
+	row.Segmented = countSegmented(sRes.Binding)
+	ba := sRes.IC.AllocateBuses()
+	row.SalsaBuses = ba.Buses
+	row.SalsaBusMux = ba.MuxCost
+
+	if cfg.Verify {
+		if err := verify(sRes.Binding, cfg.Seed); err != nil {
+			return row, fmt.Errorf("%s: verification failed: %w", id, err)
+		}
+		row.Verified = true
+	}
+	return row, nil
+}
+
+func countSegmented(b *binding.Binding) int {
+	n := 0
+	for v := range b.SegReg {
+		for k := 1; k < len(b.SegReg[v]); k++ {
+			if b.SegReg[v][k] != b.SegReg[v][0] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// verify checks the allocation at two levels: the binding simulates
+// cycle-accurately against the reference semantics on random stimulus
+// (dpsim), and the emitted RTL netlist simulates to the same outputs
+// through the Verilog-subset simulator (vsim).
+func verify(b *binding.Binding, seed int64) error {
+	g := b.A.Sched.G
+	rng := rand.New(rand.NewSource(seed + 1000))
+	env := cdfg.Env{}
+	for i := range g.Nodes {
+		switch g.Nodes[i].Op {
+		case cdfg.Input, cdfg.State:
+			env[g.Nodes[i].Name] = int64(rng.Intn(2001) - 1000)
+		}
+	}
+	iters := 1
+	if g.Cyclic {
+		iters = 3
+	}
+	if _, err := dpsim.Run(b, env, iters); err != nil {
+		return err
+	}
+	// RTL-level check: loops must start from cleared registers.
+	rtlEnv := cdfg.Env{}
+	for i := range g.Nodes {
+		switch g.Nodes[i].Op {
+		case cdfg.Input:
+			rtlEnv[g.Nodes[i].Name] = env[g.Nodes[i].Name]
+		case cdfg.State:
+			rtlEnv[g.Nodes[i].Name] = 0
+		}
+	}
+	return vsim.VerifyBinding(b, rtlEnv, iters)
+}
+
+// Table2 regenerates the paper's EWF experiment: schedules of 17 and 19
+// steps with non-pipelined and pipelined multipliers plus 21 steps
+// non-pipelined; for each schedule, the minimum register count and one
+// or two relaxed budgets trading storage for interconnect — fourteen
+// rows, as in the paper.
+func Table2(cfg Config) ([]Row, error) {
+	type point struct {
+		steps     int
+		pipelined bool
+		extras    []int
+	}
+	points := []point{
+		{17, false, []int{0, 1, 2}},
+		{17, true, []int{0, 1, 2}},
+		{19, false, []int{0, 1, 2}},
+		{19, true, []int{0, 1, 2}},
+		{21, false, []int{0, 1}},
+	}
+	var rows []Row
+	n := 1
+	for _, p := range points {
+		for _, extra := range p.extras {
+			g := workloads.EWF()
+			id := fmt.Sprintf("T2.%d", n)
+			n++
+			row, err := runPoint(id, g, p.steps, p.pipelined, extra, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table3 regenerates the DCT experiment: four schedules of increasing
+// length over the 48-operator CDFG of Figure 5, with minimum registers.
+func Table3(cfg Config) ([]Row, error) {
+	steps := []int{8, 10, 12, 14}
+	var rows []Row
+	for i, s := range steps {
+		g := workloads.DCT()
+		id := fmt.Sprintf("T3.%d", i+1)
+		row, err := runPoint(id, g, s, false, 1, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationRow reports one feature-knockout configuration.
+type AblationRow struct {
+	Name      string
+	Mux       int
+	Merged    int
+	RegsUsed  int
+	Total     int
+	Passes    int
+	Copies    int
+	Segmented int
+}
+
+// Ablation runs the EWF 19-step point under feature knockouts: the full
+// extended model, pass-throughs disabled, value copies disabled,
+// segmentation disabled (≡ traditional model), and the
+// simulated-annealing acceptance rule the paper found inferior.
+func Ablation(cfg Config) ([]AblationRow, error) {
+	g := workloads.EWF()
+	d := cdfg.DefaultDelays(false)
+	a, lim, err := lifetime.MinFUAnalysis(g, d, 19)
+	if err != nil {
+		return nil, err
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+1, []string{"in"}, true)
+
+	// All extended variants warm-start from one shared traditional
+	// baseline so the table isolates what each binding-model extension
+	// contributes, independent of cold-start search noise.
+	tOpts := cfg.salsaOpts()
+	tOpts.EnableSegments = false
+	tOpts.EnablePass = false
+	tOpts.EnableSplit = false
+	base, err := core.AllocateBest(a, hw, tOpts, cfg.Restarts)
+	if err != nil {
+		return nil, fmt.Errorf("traditional baseline: %w", err)
+	}
+
+	variants := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"full", func(o *core.Options) {}},
+		{"no-passthrough", func(o *core.Options) { o.EnablePass = false }},
+		{"no-split", func(o *core.Options) { o.EnableSplit = false }},
+		{"no-segments (traditional)", func(o *core.Options) {
+			o.EnableSegments = false
+			o.EnablePass = false
+			o.EnableSplit = false
+		}},
+		{"annealing acceptance", func(o *core.Options) { o.Anneal = true }},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		o := cfg.salsaOpts()
+		v.mod(&o)
+		o.Initial = base.Binding
+		res, err := core.Allocate(a, hw, o)
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", v.name, err)
+		}
+		if cold, err2 := core.AllocateBest(a, hw, func() core.Options {
+			c := o
+			c.Initial = nil
+			return c
+		}(), cfg.Restarts); err2 == nil && cold.Cost.Total < res.Cost.Total {
+			res = cold
+		}
+		if cfg.Verify {
+			if err := verify(res.Binding, cfg.Seed); err != nil {
+				return rows, fmt.Errorf("%s: verification failed: %w", v.name, err)
+			}
+		}
+		rows = append(rows, AblationRow{
+			Name:      v.name,
+			Mux:       res.Cost.MuxCost,
+			Merged:    res.MergedMux,
+			RegsUsed:  res.Cost.RegsUsed,
+			Total:     res.Cost.Total,
+			Passes:    len(res.Binding.Pass),
+			Copies:    res.Binding.NumCopies(),
+			Segmented: countSegmented(res.Binding),
+		})
+	}
+	return rows, nil
+}
+
+// SchedRow compares schedulers feeding the same allocator.
+type SchedRow struct {
+	Workload  string
+	Steps     int
+	Scheduler string
+	ALUs      int
+	Muls      int
+	MinRegs   int
+	Merged    int // extended-model merged mux count on that schedule
+}
+
+// SchedulerStudy runs the list scheduler and force-directed scheduling
+// over representative points and allocates each schedule under the
+// extended model, quantifying how much the schedule source matters to
+// allocation quality (the paper treats the scheduler as a given; this
+// study backs that up).
+func SchedulerStudy(cfg Config) ([]SchedRow, error) {
+	type point struct {
+		name  string
+		build func() *cdfg.Graph
+		steps int
+	}
+	points := []point{
+		{"ewf", workloads.EWF, 19},
+		{"ewf", workloads.EWF, 21},
+		{"dct", workloads.DCT, 10},
+		{"dct", workloads.DCT, 14},
+		{"diffeq", workloads.Diffeq, 8},
+	}
+	var rows []SchedRow
+	for _, p := range points {
+		for _, which := range []string{"list", "fds"} {
+			g := p.build()
+			d := cdfg.DefaultDelays(false)
+			var a *lifetime.Analysis
+			var lim sched.Limits
+			var err error
+			if which == "list" {
+				a, lim, err = lifetime.MinFUAnalysis(g, d, p.steps)
+			} else {
+				a, err = lifetime.RepairFDS(g, d, p.steps)
+				if err == nil {
+					lim = a.Sched.MinLimits()
+				}
+			}
+			if err != nil {
+				return rows, fmt.Errorf("%s@%d/%s: %w", p.name, p.steps, which, err)
+			}
+			var inputs []string
+			for i := range g.Nodes {
+				if g.Nodes[i].Op == cdfg.Input {
+					inputs = append(inputs, g.Nodes[i].Name)
+				}
+			}
+			hw := datapath.NewHardware(lim, a.MinRegs+1, inputs, true)
+			res, err := core.AllocateBest(a, hw, cfg.salsaOpts(), cfg.Restarts)
+			if err != nil {
+				return rows, fmt.Errorf("%s@%d/%s: %w", p.name, p.steps, which, err)
+			}
+			if cfg.Verify {
+				if err := verify(res.Binding, cfg.Seed); err != nil {
+					return rows, fmt.Errorf("%s@%d/%s: verification failed: %w", p.name, p.steps, which, err)
+				}
+			}
+			rows = append(rows, SchedRow{
+				Workload: p.name, Steps: p.steps, Scheduler: which,
+				ALUs: lim[sched.ClassALU], Muls: lim[sched.ClassMul],
+				MinRegs: a.MinRegs, Merged: res.MergedMux,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// BaselineRow compares allocation approaches on one benchmark point.
+type BaselineRow struct {
+	Workload string
+	Steps    int
+	Matching int // constructive bipartite-matching baseline (merged muxes)
+	TradIter int // iterative improvement, traditional model
+	Salsa    int // iterative improvement, extended model
+}
+
+// BaselineStudy positions the paper's search-based allocator against
+// the constructive matching approach of its reference [13] and the
+// traditional-model iterative search, all on identical schedules and
+// budgets.
+func BaselineStudy(cfg Config) ([]BaselineRow, error) {
+	points := []struct {
+		name  string
+		build func() *cdfg.Graph
+		steps int
+	}{
+		{"diffeq", workloads.Diffeq, 9},
+		{"arf", workloads.ARF, 12},
+		{"fir16", workloads.FIR16, 8},
+		{"ewf", workloads.EWF, 19},
+		{"dct", workloads.DCT, 12},
+	}
+	var rows []BaselineRow
+	for _, p := range points {
+		g := p.build()
+		d := cdfg.DefaultDelays(false)
+		a, lim, err := lifetime.MinFUAnalysis(g, d, p.steps)
+		if err != nil {
+			return rows, err
+		}
+		var inputs []string
+		for i := range g.Nodes {
+			if g.Nodes[i].Op == cdfg.Input {
+				inputs = append(inputs, g.Nodes[i].Name)
+			}
+		}
+		hw := datapath.NewHardware(lim, a.MinRegs+2, inputs, true)
+
+		row := BaselineRow{Workload: p.name, Steps: p.steps}
+		mRes, err := core.MatchingAllocate(a, hw, cfg.salsaOpts().Cfg)
+		if err != nil {
+			return rows, fmt.Errorf("%s: matching: %w", p.name, err)
+		}
+		row.Matching = mRes.MergedMux
+
+		tOpts := cfg.salsaOpts()
+		tOpts.EnableSegments = false
+		tOpts.EnablePass = false
+		tOpts.EnableSplit = false
+		tOpts.Initial = mRes.Binding // search from the matching start
+		tRes, err := core.Allocate(a, hw, tOpts)
+		if err != nil {
+			return rows, fmt.Errorf("%s: traditional: %w", p.name, err)
+		}
+		row.TradIter = tRes.MergedMux
+
+		sOpts := cfg.salsaOpts()
+		sOpts.Initial = tRes.Binding
+		sRes, err := core.Allocate(a, hw, sOpts)
+		if err != nil {
+			return rows, fmt.Errorf("%s: salsa: %w", p.name, err)
+		}
+		if cold, err2 := core.AllocateBest(a, hw, func() core.Options {
+			o := sOpts
+			o.Initial = nil
+			return o
+		}(), cfg.Restarts); err2 == nil && cold.MergedMux < sRes.MergedMux {
+			sRes = cold
+		}
+		row.Salsa = sRes.MergedMux
+		if cfg.Verify {
+			if err := verify(sRes.Binding, cfg.Seed); err != nil {
+				return rows, fmt.Errorf("%s: verification failed: %w", p.name, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable renders rows in the layout of the paper's tables:
+// schedule parameters, register budget, and the equivalent 2-1
+// multiplexer counts of both binding models (after merging, the metric
+// the paper reports), plus the extended model's feature usage.
+func FormatTable(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %5s %4s %5s %4s %5s %5s | %10s | %10s %6s %6s %5s | %9s | %s\n",
+		"id", "steps", "mul", "alus", "muls", "regs", "min",
+		"trad mux", "salsa mux", "pass", "copy", "segm", "bus/mux", "ok")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 120))
+	for _, r := range rows {
+		mulKind := "seq"
+		if r.Pipelined {
+			mulKind = "pipe"
+		}
+		trad := "infeas"
+		if r.TradFeasible {
+			trad = fmt.Sprintf("%3d/%3d", r.TradMux, r.TradMerged)
+		}
+		ok := " "
+		if r.Verified {
+			ok = "sim"
+		}
+		fmt.Fprintf(&b, "%-6s %5d %4s %5d %4d %5d %5d | %10s | %4d/%3d %8d %6d %5d | %4d/%4d | %s\n",
+			r.ID, r.Steps, mulKind, r.ALUs, r.Muls, r.Regs, r.MinRegs,
+			trad, r.SalsaMux, r.SalsaMerged, r.Passes, r.Copies, r.Segmented,
+			r.SalsaBuses, r.SalsaBusMux, ok)
+	}
+	return b.String()
+}
+
+// FormatAblation renders the feature-knockout table.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (EWF, 19 steps, min+1 registers)\n")
+	fmt.Fprintf(&b, "%-28s %6s %8s %6s %6s %6s %6s %6s\n",
+		"variant", "mux", "merged", "regs", "total", "pass", "copy", "segm")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 84))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %6d %8d %6d %6d %6d %6d %6d\n",
+			r.Name, r.Mux, r.Merged, r.RegsUsed, r.Total, r.Passes, r.Copies, r.Segmented)
+	}
+	return b.String()
+}
+
+// FormatDemo renders a mechanism demonstration.
+func FormatDemo(d *FigureDemo) string {
+	status := "OUTPUT MISMATCH"
+	if d.Verified {
+		status = "outputs identical (simulated)"
+	}
+	return fmt.Sprintf("%s: %s\n  without: %d muxes (%d merged)\n  with:    %d muxes (%d merged)\n  %s\n",
+		d.Name, d.Description, d.BeforeMux, d.BeforeMerged, d.AfterMux, d.AfterMerged, status)
+}
+
+// FormatSchedulerStudy renders the list-vs-FDS comparison.
+func FormatSchedulerStudy(rows []SchedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduler study (same allocator, different schedules)\n")
+	fmt.Fprintf(&b, "%-8s %5s %-5s %5s %5s %5s %7s\n", "bench", "steps", "sched", "alus", "muls", "regs", "merged")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 48))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5d %-5s %5d %5d %5d %7d\n",
+			r.Workload, r.Steps, r.Scheduler, r.ALUs, r.Muls, r.MinRegs, r.Merged)
+	}
+	return b.String()
+}
+
+// FormatBaselineStudy renders the allocator comparison.
+func FormatBaselineStudy(rows []BaselineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Allocator study (merged 2-1 muxes; identical schedules and budgets)\n")
+	fmt.Fprintf(&b, "%-8s %5s %9s %10s %9s\n", "bench", "steps", "matching", "trad-iter", "extended")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 46))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5d %9d %10d %9d\n", r.Workload, r.Steps, r.Matching, r.TradIter, r.Salsa)
+	}
+	return b.String()
+}

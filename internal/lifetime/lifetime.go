@@ -1,0 +1,298 @@
+// Package lifetime computes storage values and their live ranges from a
+// scheduled CDFG.
+//
+// A storage value is the result of an arithmetic operator; it is clocked
+// into a register at the edge ending the producer's last control step
+// and must remain stored from its birth step through its last read.
+// Loop-carried values (a State node together with the operator named by
+// its Next field) form a single value whose live range wraps around the
+// end of the loop body; the paper's "consistency across iterations"
+// requirement then reduces to an ordinary adjacent-segment transfer at
+// the wrap boundary.
+//
+// Constants are never stored (they feed FU inputs directly and are
+// cost-free, as in the paper's treatment of coefficient multipliers).
+// Primary inputs are modeled as externally held ports and are likewise
+// not stored; this matches the usual benchmark convention.
+package lifetime
+
+import (
+	"fmt"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/sched"
+)
+
+// ValueID indexes the Values slice of an Analysis.
+type ValueID int
+
+// NoValue is the sentinel for "not a storage value".
+const NoValue ValueID = -1
+
+// Read records one consumption of a value.
+type Read struct {
+	// Consumer is the reading node: an arithmetic node or an Output sink.
+	Consumer cdfg.NodeID
+	// Port is the operand port (0 or 1) for arithmetic consumers and -1
+	// for Output sinks.
+	Port int
+	// Step is the control step during which the read happens.
+	Step int
+}
+
+// Value is one storage value with its live range.
+type Value struct {
+	ID   ValueID
+	Name string
+
+	// Producer is the node computing the value. For a loop-carried
+	// value this is the State node's Next operator. It may be an Input
+	// node in the corner case of a state fed directly by an input.
+	Producer cdfg.NodeID
+
+	// State is the State node when the value is loop-carried, NoNode
+	// otherwise.
+	State cdfg.NodeID
+
+	// Birth is the first live step (already reduced modulo the step
+	// count for wrapped values).
+	Birth int
+
+	// Len is the number of consecutive live steps starting at Birth
+	// (wrapping modulo the step count for loop-carried values).
+	// 1 <= Len <= StorageSteps.
+	Len int
+
+	// Reads lists every consumption, in deterministic order.
+	Reads []Read
+}
+
+// StepAt returns the control step of the k-th segment (0 <= k < Len).
+func (v *Value) StepAt(k, storageSteps int) int {
+	return (v.Birth + k) % storageSteps
+}
+
+// LiveAt reports whether the value is live at step t, and if so at which
+// chain position.
+func (v *Value) LiveAt(t, storageSteps int) (k int, ok bool) {
+	k = t - v.Birth
+	if k < 0 {
+		k += storageSteps
+	}
+	if k >= 0 && k < v.Len {
+		return k, true
+	}
+	return 0, false
+}
+
+// Analysis is the result of Analyze.
+type Analysis struct {
+	Sched  *sched.Schedule
+	Values []Value
+
+	// StorageSteps is the number of distinct storage steps: equal to the
+	// schedule length for loop bodies, and schedule length + 1 for
+	// straight-line graphs (the extra step holds final outputs).
+	StorageSteps int
+
+	// ValueOf maps a producer node (and, for loop-carried values, the
+	// State node as well) to its ValueID; NoValue for nodes that do not
+	// produce a storage value.
+	ValueOf []ValueID
+
+	// Demand is the number of live values per storage step.
+	Demand []int
+
+	// MinRegs is the maximum of Demand: the fewest registers any legal
+	// allocation can use.
+	MinRegs int
+}
+
+// Analyze computes storage values and live ranges for a legal schedule.
+func Analyze(s *sched.Schedule) (*Analysis, error) {
+	g := s.G
+	T := s.Steps
+	a := &Analysis{Sched: s, ValueOf: make([]ValueID, len(g.Nodes))}
+	for i := range a.ValueOf {
+		a.ValueOf[i] = NoValue
+	}
+	a.StorageSteps = T
+	if !g.Cyclic {
+		a.StorageSteps = T + 1
+	}
+
+	// Map each State node back from its producer, to merge the pair.
+	stateOf := make(map[cdfg.NodeID]cdfg.NodeID) // producer -> state
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != cdfg.State || n.Next == cdfg.NoNode {
+			continue
+		}
+		pn := &g.Nodes[n.Next]
+		if pn.Op == cdfg.Const {
+			return nil, fmt.Errorf("lifetime: state %s fed by constant %s", n.Name, pn.Name)
+		}
+		if pn.Op == cdfg.State {
+			return nil, fmt.Errorf("lifetime: state %s fed directly by state %s (insert a copy operator)", n.Name, pn.Name)
+		}
+		if _, dup := stateOf[n.Next]; dup {
+			return nil, fmt.Errorf("lifetime: node %s feeds two state nodes", pn.Name)
+		}
+		stateOf[n.Next] = cdfg.NodeID(i)
+	}
+
+	readsOf := func(id cdfg.NodeID) []Read {
+		var rs []Read
+		seen := make(map[cdfg.NodeID]bool)
+		for _, u := range g.SortedUses(id) {
+			if seen[u] {
+				continue // both ports matched below in one pass
+			}
+			seen[u] = true
+			un := &g.Nodes[u]
+			switch {
+			case un.Op.IsArith():
+				for port, arg := range un.Args {
+					if arg == id {
+						rs = append(rs, Read{Consumer: u, Port: port, Step: s.Start[u]})
+					}
+				}
+			case un.Op == cdfg.Output:
+				step := s.Start[u]
+				if g.Cyclic {
+					step %= T
+				}
+				rs = append(rs, Read{Consumer: u, Port: -1, Step: step})
+			}
+		}
+		return rs
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		id := cdfg.NodeID(i)
+		switch {
+		case n.Op.IsArith():
+			// handled below
+		case n.Op == cdfg.Input:
+			if _, feedsState := stateOf[id]; !feedsState {
+				continue // externally held port, no storage
+			}
+		default:
+			continue
+		}
+
+		v := Value{ID: ValueID(len(a.Values)), Name: n.Name, Producer: id, State: cdfg.NoNode}
+		finish := s.FinishOf(id) // == 0 for Input producers
+
+		if st, feedsState := stateOf[id]; feedsState {
+			// Loop-carried: merge the producer's value with the state's.
+			v.State = st
+			v.Name = g.Nodes[st].Name
+			if n.Op == cdfg.Input {
+				// Content loaded from the input port at the wrap edge.
+				finish = T
+			}
+			lastRead := 0
+			stReads := readsOf(st)
+			for _, r := range stReads {
+				if r.Step > lastRead {
+					lastRead = r.Step
+				}
+			}
+			v.Birth = finish % T
+			v.Len = (T - finish) + lastRead + 1
+			if v.Len > T {
+				return nil, fmt.Errorf("lifetime: value %s overlaps itself across iterations (live %d steps of %d); lengthen the schedule", v.Name, v.Len, T)
+			}
+			if n.Op == cdfg.Input {
+				// The input node's own consumers read the live external
+				// port, not the stored (one-iteration-delayed) value;
+				// only the State node's readers read the register.
+				v.Reads = stReads
+			} else {
+				v.Reads = append(readsOf(id), stReads...)
+			}
+			for _, r := range v.Reads {
+				if _, ok := v.LiveAt(r.Step, a.StorageSteps); !ok {
+					return nil, fmt.Errorf("lifetime: read of %s at step %d outside live range", v.Name, r.Step)
+				}
+			}
+		} else {
+			v.Reads = readsOf(id)
+			if len(v.Reads) == 0 {
+				// Dead value: still stored for one step at its birth edge.
+				v.Birth = finish % a.StorageSteps
+				v.Len = 1
+			} else {
+				lastRead := finish
+				for _, r := range v.Reads {
+					if r.Step < finish && !g.Cyclic {
+						return nil, fmt.Errorf("lifetime: %s read at %d before birth %d", v.Name, r.Step, finish)
+					}
+					if r.Step > lastRead {
+						lastRead = r.Step
+					}
+				}
+				if g.Cyclic && finish >= T {
+					// Born at the wrap edge; only Output reads at step 0
+					// are legal (checked via live range below).
+					v.Birth = finish % T
+					lastRead = 0
+					for _, r := range v.Reads {
+						if r.Consumer >= 0 && g.Nodes[r.Consumer].Op.IsArith() {
+							return nil, fmt.Errorf("lifetime: %s born at wrap edge but read by operator", v.Name)
+						}
+						if r.Step > lastRead {
+							lastRead = r.Step
+						}
+					}
+					v.Len = lastRead + 1
+				} else {
+					v.Birth = finish
+					v.Len = lastRead - finish + 1
+				}
+			}
+		}
+		if n.Op != cdfg.Input {
+			a.ValueOf[id] = v.ID
+		}
+		if v.State != cdfg.NoNode {
+			a.ValueOf[v.State] = v.ID
+		}
+		a.Values = append(a.Values, v)
+	}
+
+	a.Demand = make([]int, a.StorageSteps)
+	for i := range a.Values {
+		v := &a.Values[i]
+		for k := 0; k < v.Len; k++ {
+			a.Demand[v.StepAt(k, a.StorageSteps)]++
+		}
+	}
+	for _, d := range a.Demand {
+		if d > a.MinRegs {
+			a.MinRegs = d
+		}
+	}
+	return a, nil
+}
+
+// Value returns the value with the given ID.
+func (a *Analysis) Value(id ValueID) *Value { return &a.Values[id] }
+
+// SourceOf describes where a value's content enters storage: the
+// producing FU output for arithmetic producers, or the external input
+// port for input-fed states.
+//
+// WriteStep returns the step during which the connection into the birth
+// register is exercised: the producer's final execution step (the write
+// happens at the clock edge ending it).
+func (a *Analysis) WriteStep(v *Value) int {
+	g := a.Sched.G
+	if g.Nodes[v.Producer].Op == cdfg.Input {
+		return a.Sched.Steps - 1 // loaded at the wrap edge
+	}
+	fin := a.Sched.FinishOf(v.Producer)
+	return (fin - 1 + a.StorageSteps) % a.StorageSteps
+}

@@ -1,0 +1,284 @@
+package lifetime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/sched"
+)
+
+func mustAnalyze(t *testing.T, g *cdfg.Graph, steps int) *Analysis {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := cdfg.DefaultDelays(false)
+	s, lim := sched.MinFUSchedule(g, d, steps)
+	if s == nil {
+		t.Fatalf("cannot schedule %s in %d steps", g.Name, steps)
+	}
+	if err := s.Check(&lim); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestStraightLineLifetimes(t *testing.T) {
+	g := cdfg.New("line")
+	x := g.Input("x")
+	y := g.Input("y")
+	m := g.Mul("m", x, y) // steps 0-1, value born step 2
+	s := g.Add("s", m, m) // step 2, value born step 3
+	g.Output("o", s)
+	a := mustAnalyze(t, g, 3)
+
+	if a.StorageSteps != 4 {
+		t.Fatalf("StorageSteps = %d, want 4 (acyclic gets an output step)", a.StorageSteps)
+	}
+	if len(a.Values) != 2 {
+		t.Fatalf("values = %d, want 2 (inputs are ports, not storage)", len(a.Values))
+	}
+	vm := a.Value(a.ValueOf[m])
+	if vm.Birth != 2 || vm.Len != 1 {
+		t.Errorf("m: birth %d len %d, want 2/1", vm.Birth, vm.Len)
+	}
+	if len(vm.Reads) != 2 {
+		t.Errorf("m has %d reads, want 2 (both ports of s)", len(vm.Reads))
+	}
+	vs := a.Value(a.ValueOf[s])
+	if vs.Birth != 3 || vs.Len != 1 {
+		t.Errorf("s: birth %d len %d, want 3/1 (output held past the schedule)", vs.Birth, vs.Len)
+	}
+	if a.ValueOf[x] != NoValue {
+		t.Error("input x must not be a storage value")
+	}
+}
+
+func TestLongLifetimeSpansSteps(t *testing.T) {
+	g := cdfg.New("span")
+	x := g.Input("x")
+	y := g.Input("y")
+	e := g.Add("early", x, y)
+	m1 := g.Mul("m1", e, y)
+	m2 := g.Mul("m2", m1, y)
+	late := g.Add("late", m2, e) // e read here, far from its birth
+	g.Output("o", late)
+	a := mustAnalyze(t, g, 6)
+	ve := a.Value(a.ValueOf[e])
+	// e born at 1, read by m1 at 1 and by late at 5: live 1..5.
+	if ve.Birth != 1 || ve.Len != 5 {
+		t.Errorf("early: birth %d len %d, want 1/5", ve.Birth, ve.Len)
+	}
+}
+
+func TestCyclicMergedValueWraps(t *testing.T) {
+	// sv' = in + 3*sv, scheduled in 4 steps:
+	// mul at 0-1, add at 2 (born step 3 == wrap edge... delay: add starts 2, finishes 3, born step 3).
+	g := cdfg.New("loop")
+	in := g.Input("in")
+	sv := g.State("sv")
+	m := g.MulC("m", sv, 3)
+	s := g.Add("s", in, m)
+	g.SetNext(sv, s)
+	g.Output("o", s)
+	a := mustAnalyze(t, g, 4)
+	if a.StorageSteps != 4 {
+		t.Fatalf("StorageSteps = %d, want 4 (cyclic)", a.StorageSteps)
+	}
+	vsv := a.Value(a.ValueOf[sv])
+	if vsv.ID != a.ValueOf[s] {
+		t.Error("state and its producer must merge into one value")
+	}
+	// Born step 3, wraps, read by the mul at step 0: live {3, 0}.
+	if vsv.Birth != 3 || vsv.Len != 2 {
+		t.Errorf("sv: birth %d len %d, want 3/2", vsv.Birth, vsv.Len)
+	}
+	if k, ok := vsv.LiveAt(0, 4); !ok || k != 1 {
+		t.Errorf("sv must be live at step 0 at chain pos 1 (got %d,%v)", k, ok)
+	}
+	if _, ok := vsv.LiveAt(2, 4); ok {
+		t.Error("sv must not be live at step 2")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	// State read at the very end of the iteration while its next content
+	// is produced early: lifetimes overlap, which the model rejects.
+	g := cdfg.New("overlap")
+	in := g.Input("in")
+	sv := g.State("sv")
+	early := g.Add("early", in, in) // next state, born step 1
+	lateA := g.Add("la", in, sv)
+	lateB := g.Add("lb", lateA, sv)
+	lateC := g.Add("lc", lateB, sv) // sv read at step 2 when scheduled serially
+	g.SetNext(sv, early)
+	g.Output("o", lateC)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := cdfg.DefaultDelays(false)
+	s := sched.List(g, d, 3, sched.Limits{sched.ClassALU: 2, sched.ClassMul: 1})
+	if s == nil {
+		t.Fatal("schedule failed")
+	}
+	if _, err := Analyze(s); err == nil {
+		t.Error("Analyze accepted a self-overlapping loop-carried value")
+	}
+}
+
+func TestDemandAndMinRegs(t *testing.T) {
+	g := cdfg.New("demand")
+	x := g.Input("x")
+	y := g.Input("y")
+	a1 := g.Add("a1", x, y)
+	a2 := g.Add("a2", x, y)
+	s := g.Add("s", a1, a2)
+	g.Output("o", s)
+	an := mustAnalyze(t, g, 3)
+	// With 2 ALUs: a1,a2 at step 0 (born 1), s at 1 (born 2).
+	// Demand: step1: a1,a2 -> 2; step2: s -> 1.
+	if an.MinRegs != 2 {
+		t.Errorf("MinRegs = %d, want 2 (demand %v)", an.MinRegs, an.Demand)
+	}
+}
+
+func TestStateFedByInput(t *testing.T) {
+	g := cdfg.New("infed")
+	in := g.Input("in")
+	sv := g.State("sv") // delayed copy of the input
+	s := g.Add("s", in, sv)
+	g.SetNext(sv, in)
+	g.SetNext(sv, in)
+	g.Output("o", s)
+	a := mustAnalyze(t, g, 2)
+	v := a.Value(a.ValueOf[sv])
+	if v.Birth != 0 {
+		t.Errorf("input-fed state born at %d, want 0", v.Birth)
+	}
+	if a.WriteStep(v) != a.Sched.Steps-1 {
+		t.Errorf("input-fed state written at %d, want wrap edge %d", a.WriteStep(v), a.Sched.Steps-1)
+	}
+}
+
+func TestStateFedByConstRejected(t *testing.T) {
+	g := cdfg.New("cfed")
+	c := g.Const("k", 1)
+	sv := g.State("sv")
+	s := g.Add("s", sv, sv)
+	g.SetNext(sv, c)
+	g.Output("o", s)
+	d := cdfg.DefaultDelays(false)
+	sc, _ := sched.MinFUSchedule(g, d, 2)
+	if sc == nil {
+		t.Fatal("schedule failed")
+	}
+	if _, err := Analyze(sc); err == nil {
+		t.Error("Analyze accepted a constant-fed state")
+	}
+}
+
+func TestDeadValueGetsOneSegment(t *testing.T) {
+	g := cdfg.New("dead")
+	x := g.Input("x")
+	y := g.Input("y")
+	g.Add("unused", x, y)
+	s := g.Add("s", x, y)
+	g.Output("o", s)
+	a := mustAnalyze(t, g, 2)
+	v := a.Value(a.ValueOf[cdfg.NodeID(2)])
+	if v.Len != 1 {
+		t.Errorf("dead value len %d, want 1", v.Len)
+	}
+}
+
+func TestWriteStep(t *testing.T) {
+	g := cdfg.New("ws")
+	x := g.Input("x")
+	y := g.Input("y")
+	m := g.Mul("m", x, y) // steps 0-1; write at edge ending step 1
+	g.Output("o", m)
+	a := mustAnalyze(t, g, 2)
+	v := a.Value(a.ValueOf[m])
+	if got := a.WriteStep(v); got != 1 {
+		t.Errorf("WriteStep = %d, want 1", got)
+	}
+	if v.Birth != 2 {
+		t.Errorf("birth = %d, want 2", v.Birth)
+	}
+}
+
+func randomDAG(seed int64, nOps int) *cdfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := cdfg.New("rand")
+	var pool []cdfg.NodeID
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		pool = append(pool, g.Input(""))
+	}
+	for i := 0; i < nOps; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var id cdfg.NodeID
+		switch rng.Intn(3) {
+		case 0:
+			id = g.Add("", a, b)
+		case 1:
+			id = g.Sub("", a, b)
+		default:
+			id = g.Mul("", a, b)
+		}
+		pool = append(pool, id)
+	}
+	g.Output("out", pool[len(pool)-1])
+	return g
+}
+
+// TestPropertyLifetimesCoverReads: every read step falls inside the live
+// range, every live range starts at the producer's finish, and demand
+// equals the per-step sum of live values.
+func TestPropertyLifetimesCoverReads(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%25))
+		d := cdfg.DefaultDelays(seed%2 == 0)
+		s, _ := sched.MinFUSchedule(g, d, g.CriticalPath(d)+int(uint64(seed)%3))
+		if s == nil {
+			return false
+		}
+		a, err := Analyze(s)
+		if err != nil {
+			return false
+		}
+		for i := range a.Values {
+			v := &a.Values[i]
+			if v.Birth != s.FinishOf(v.Producer) {
+				return false
+			}
+			for _, r := range v.Reads {
+				if _, ok := v.LiveAt(r.Step, a.StorageSteps); !ok {
+					return false
+				}
+			}
+		}
+		// Demand re-derivation.
+		demand := make([]int, a.StorageSteps)
+		for t := 0; t < a.StorageSteps; t++ {
+			for i := range a.Values {
+				if _, ok := a.Values[i].LiveAt(t, a.StorageSteps); ok {
+					demand[t]++
+				}
+			}
+			if demand[t] != a.Demand[t] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package lifetime
+
+import (
+	"fmt"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/sched"
+)
+
+// RepairSchedule produces a schedule of the given length and budget
+// whose loop-carried lifetimes do not self-overlap, iterating between
+// scheduling and analysis: whenever a reader of a state value runs at
+// or after the step in which the state's next content is produced, the
+// reader's deadline is tightened (or, when the reader cannot run
+// earlier, the producer's release time is pushed later) and the list
+// scheduler re-runs under the new windows. Straight-line graphs never
+// need repair and return after one round.
+func RepairSchedule(g *cdfg.Graph, d cdfg.Delays, steps int, limits sched.Limits) (*Analysis, error) {
+	return RepairWith(g, d, steps, func(release, deadline []int) *sched.Schedule {
+		return sched.ListConstrained(g, d, steps, limits, release, deadline)
+	})
+}
+
+// RepairFDS runs the force-directed scheduler through the same
+// anti-dependence repair loop. FDS is time-constrained (it minimizes
+// resources rather than respecting a budget), so no FU limits apply;
+// read the resulting budget from Analysis.Sched.MinLimits.
+func RepairFDS(g *cdfg.Graph, d cdfg.Delays, steps int) (*Analysis, error) {
+	return RepairWith(g, d, steps, func(release, deadline []int) *sched.Schedule {
+		return sched.ForceDirectedConstrained(g, d, steps, release, deadline)
+	})
+}
+
+// RepairWith iterates an arbitrary window-respecting scheduler against
+// lifetime analysis until loop-carried lifetimes are overlap-free.
+func RepairWith(g *cdfg.Graph, d cdfg.Delays, steps int, schedule func(release, deadline []int) *sched.Schedule) (*Analysis, error) {
+	release := make([]int, len(g.Nodes))
+	deadline := make([]int, len(g.Nodes))
+	for i := range deadline {
+		deadline[i] = -1
+	}
+	alap := sched.ALAP(g, d, steps)
+	if alap == nil {
+		return nil, fmt.Errorf("lifetime: %d steps below critical path", steps)
+	}
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		s := schedule(release, deadline)
+		if s == nil {
+			return nil, fmt.Errorf("lifetime: no schedule for %s at %d steps after %d repair rounds",
+				g.Name, steps, round)
+		}
+		viol := overlapViolations(s)
+		if len(viol) == 0 {
+			return Analyze(s)
+		}
+		asap := asapWithReleases(g, d, release)
+		for _, v := range viol {
+			// Prefer delaying the producer, which is safe whenever its
+			// ALAP window allows it (state producers usually sit at the
+			// end of the iteration with slack to spare); fall back to
+			// tightening the reader's deadline. The dependency-only ASAP
+			// bound under-estimates resource-constrained starts, so the
+			// reader path is best-effort: if the resulting window proves
+			// unschedulable the caller escalates the FU budget.
+			pn := &g.Nodes[v.producer]
+			minStart := v.l + 1 - d.Of(pn.Op)
+			if minStart <= alap.Start[v.producer] {
+				if minStart > release[v.producer] {
+					release[v.producer] = minStart
+				}
+				continue
+			}
+			want := v.b - 1
+			if asap[v.reader] <= want {
+				if deadline[v.reader] < 0 || deadline[v.reader] > want {
+					deadline[v.reader] = want
+				}
+				continue
+			}
+			return nil, fmt.Errorf("lifetime: state %s: reader %s at step %d cannot precede producer %s (no legal window at %d steps)",
+				g.Nodes[v.state].Name, g.Nodes[v.reader].Name, v.l, pn.Name, steps)
+		}
+	}
+	return nil, fmt.Errorf("lifetime: repair did not converge for %s at %d steps", g.Name, steps)
+}
+
+// MinFUAnalysis finds the minimum FU budget that yields a repairable
+// schedule at the given length, escalating the ALU count when repair
+// windows make the minimal budget infeasible. It returns the analysis
+// and the budget used.
+func MinFUAnalysis(g *cdfg.Graph, d cdfg.Delays, steps int) (*Analysis, sched.Limits, error) {
+	s, lim := sched.MinFUSchedule(g, d, steps)
+	if s == nil {
+		return nil, sched.Limits{}, fmt.Errorf("lifetime: %s unschedulable at %d steps", g.Name, steps)
+	}
+	for extraALU := 0; extraALU <= 2; extraALU++ {
+		try := lim
+		try[sched.ClassALU] += extraALU
+		a, err := RepairSchedule(g, d, steps, try)
+		if err == nil {
+			return a, try, nil
+		}
+		if extraALU == 2 {
+			return nil, sched.Limits{}, err
+		}
+	}
+	return nil, sched.Limits{}, fmt.Errorf("unreachable")
+}
+
+type violation struct {
+	state    cdfg.NodeID
+	producer cdfg.NodeID
+	reader   cdfg.NodeID
+	b, l     int // producer finish, reader start
+}
+
+// overlapViolations lists every (state, reader) pair whose read happens
+// at or after the next content's finish step — exactly the condition
+// under which Analyze reports a self-overlapping loop-carried value.
+func overlapViolations(s *sched.Schedule) []violation {
+	g := s.G
+	if !g.Cyclic {
+		return nil
+	}
+	var out []violation
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != cdfg.State || n.Next == cdfg.NoNode {
+			continue
+		}
+		p := n.Next
+		if !g.Nodes[p].Op.IsArith() {
+			continue // input-fed states load at the wrap edge: never overlap
+		}
+		b := s.FinishOf(p)
+		for _, r := range g.SortedUses(cdfg.NodeID(i)) {
+			if !g.Nodes[r].Op.IsArith() {
+				continue
+			}
+			if l := s.Start[r]; l >= b {
+				out = append(out, violation{state: cdfg.NodeID(i), producer: p, reader: r, b: b, l: l})
+			}
+		}
+	}
+	return out
+}
+
+// asapWithReleases computes earliest start steps honoring release times.
+func asapWithReleases(g *cdfg.Graph, d cdfg.Delays, release []int) []int {
+	asap := make([]int, len(g.Nodes))
+	for _, id := range g.Topo() {
+		n := &g.Nodes[id]
+		if !n.Op.IsArith() {
+			continue
+		}
+		st := release[id]
+		for _, a := range n.Args {
+			an := &g.Nodes[a]
+			if an.Op.IsArith() {
+				if fin := asap[a] + d.Of(an.Op); fin > st {
+					st = fin
+				}
+			}
+		}
+		asap[id] = st
+	}
+	return asap
+}

@@ -1,0 +1,94 @@
+package lifetime
+
+import (
+	"testing"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/sched"
+)
+
+// loopGraph builds a transposed-FIR-like loop whose anti-dependences
+// require repair at tight lengths.
+func loopGraph() *cdfg.Graph {
+	g := cdfg.New("loop")
+	in := g.Input("in")
+	sv := make([]cdfg.NodeID, 4)
+	for i := range sv {
+		sv[i] = g.State(string(rune('a' + i)))
+	}
+	m := make([]cdfg.NodeID, 4)
+	for i := range m {
+		m[i] = g.MulC(string(rune('m'+i)), in, int64(2*i+3))
+	}
+	y := g.Add("y", sv[0], m[0])
+	a1 := g.Add("a1", sv[1], m[1])
+	a2 := g.Add("a2", sv[2], m[2])
+	g.SetNext(sv[0], a1)
+	g.SetNext(sv[1], a2)
+	g.SetNext(sv[2], m[3])
+	g.SetNext(sv[3], y)
+	g.Output("o", sv[3])
+	return g
+}
+
+func TestRepairScheduleResolvesAntiDeps(t *testing.T) {
+	g := loopGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := cdfg.DefaultDelays(false)
+	a, err := RepairSchedule(g, d, 4, sched.Limits{sched.ClassALU: 2, sched.ClassMul: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overlapViolations(a.Sched)) != 0 {
+		t.Error("repaired schedule still has violations")
+	}
+}
+
+func TestRepairFDSMatchesListOnLoops(t *testing.T) {
+	g := loopGraph()
+	d := cdfg.DefaultDelays(false)
+	a, err := RepairFDS(g, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sched.Check(nil); err != nil {
+		t.Error(err)
+	}
+	if len(overlapViolations(a.Sched)) != 0 {
+		t.Error("FDS repair left violations")
+	}
+}
+
+func TestRepairWithCustomScheduler(t *testing.T) {
+	// A scheduler that always fails must surface as an error, not loop.
+	g := loopGraph()
+	d := cdfg.DefaultDelays(false)
+	_, err := RepairWith(g, d, 4, func(release, deadline []int) *sched.Schedule {
+		return nil
+	})
+	if err == nil {
+		t.Error("RepairWith accepted a scheduler that never schedules")
+	}
+}
+
+func TestMinFUAnalysisEscalatesALUs(t *testing.T) {
+	// At very tight lengths the minimal list budget can be un-repairable;
+	// MinFUAnalysis must either escalate or fail with a clear error, but
+	// never return an analysis with overlaps.
+	g := loopGraph()
+	d := cdfg.DefaultDelays(false)
+	for steps := 3; steps <= 7; steps++ {
+		a, lim, err := MinFUAnalysis(g, d, steps)
+		if err != nil {
+			continue
+		}
+		if err := a.Sched.Check(&lim); err != nil {
+			t.Errorf("%d steps: %v", steps, err)
+		}
+		if len(overlapViolations(a.Sched)) != 0 {
+			t.Errorf("%d steps: overlaps survived", steps)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package match implements maximum-weight bipartite matching (the
+// Hungarian algorithm in its Jonker-style shortest-augmenting-path
+// form), the combinatorial core of the matching-based allocation
+// approach the paper compares against (its reference [13]: "Data Path
+// Allocation Based on Bipartite Weighted Matching").
+package match
+
+import "math"
+
+// Assign solves the maximum-weight assignment problem on an n×m weight
+// matrix (rows = items to assign, columns = resources). Entries of
+// math.Inf(-1) mark forbidden pairs. It returns, per row, the assigned
+// column (-1 when the row is unassignable) and the total weight of the
+// assignment. Rows never steal a column needed by another row when a
+// complete assignment exists: the result maximizes cardinality first,
+// then total weight.
+func Assign(w [][]float64) ([]int, float64) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(w[0])
+
+	// Offset weights so every allowed edge is strictly positive; with
+	// all-positive weights a maximum-weight matching on the padded
+	// square matrix is also maximum-cardinality.
+	minW := math.Inf(1)
+	maxW := math.Inf(-1)
+	for i := range w {
+		for j := range w[i] {
+			if math.IsInf(w[i][j], -1) {
+				continue
+			}
+			minW = math.Min(minW, w[i][j])
+			maxW = math.Max(maxW, w[i][j])
+		}
+	}
+	if math.IsInf(minW, 1) {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out, 0
+	}
+	// Edge value used internally: cost = -(weight - minW + 1) so the
+	// assignment minimizes cost; forbidden edges get a prohibitive cost
+	// larger than any achievable total.
+	big := float64(n+m+1) * (maxW - minW + 2)
+	size := n
+	if m > size {
+		size = m
+	}
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			cost[i][j] = big // padding / forbidden
+			if i < n && j < m && !math.IsInf(w[i][j], -1) {
+				cost[i][j] = -(w[i][j] - minW + 1)
+			}
+		}
+	}
+
+	rowTo, _ := hungarian(cost)
+
+	out := make([]int, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		j := rowTo[i]
+		if j < 0 || j >= m || math.IsInf(w[i][j], -1) {
+			out[i] = -1
+			continue
+		}
+		out[i] = j
+		total += w[i][j]
+	}
+	return out, total
+}
+
+// hungarian solves the square min-cost assignment via successive
+// shortest augmenting paths with potentials (O(n³)).
+func hungarian(cost [][]float64) (rowTo, colTo []int) {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j (1-based cols; p[0] = current row)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowTo = make([]int, n)
+	colTo = make([]int, n)
+	for i := range colTo {
+		colTo[i] = -1
+	}
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowTo[p[j]-1] = j - 1
+			colTo[j-1] = p[j] - 1
+		}
+	}
+	return rowTo, colTo
+}

@@ -1,0 +1,173 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignSimple(t *testing.T) {
+	// Classic 3x3: optimal picks the diagonal-ish maximum.
+	w := [][]float64{
+		{7, 5, 1},
+		{6, 8, 3},
+		{5, 4, 9},
+	}
+	rows, total := Assign(w)
+	if total != 7+8+9 {
+		t.Errorf("total = %v, want 24 (assignment %v)", total, rows)
+	}
+}
+
+func TestAssignRectangularWide(t *testing.T) {
+	// 2 rows, 4 columns: both rows assigned, best columns chosen.
+	w := [][]float64{
+		{1, 9, 2, 3},
+		{1, 8, 2, 3},
+	}
+	rows, total := Assign(w)
+	if rows[0] == rows[1] {
+		t.Fatalf("duplicate column: %v", rows)
+	}
+	if total != 9+3 {
+		t.Errorf("total = %v, want 12 (%v)", total, rows)
+	}
+}
+
+func TestAssignRectangularTall(t *testing.T) {
+	// 3 rows, 2 columns: only 2 rows can be assigned.
+	w := [][]float64{
+		{5, 1},
+		{4, 2},
+		{9, 9},
+	}
+	rows, total := Assign(w)
+	assigned := 0
+	seen := map[int]bool{}
+	for _, j := range rows {
+		if j >= 0 {
+			if seen[j] {
+				t.Fatalf("duplicate column: %v", rows)
+			}
+			seen[j] = true
+			assigned++
+		}
+	}
+	if assigned != 2 {
+		t.Errorf("assigned %d rows, want 2 (%v)", assigned, rows)
+	}
+	if total < 9+5 {
+		t.Errorf("total = %v, want >= 14", total)
+	}
+}
+
+func TestAssignForbidden(t *testing.T) {
+	ninf := math.Inf(-1)
+	w := [][]float64{
+		{ninf, 3},
+		{5, ninf},
+	}
+	rows, total := Assign(w)
+	if rows[0] != 1 || rows[1] != 0 || total != 8 {
+		t.Errorf("rows = %v total = %v, want [1 0] 8", rows, total)
+	}
+	// Fully forbidden row stays unassigned.
+	w2 := [][]float64{
+		{ninf, ninf},
+		{5, 6},
+	}
+	rows2, _ := Assign(w2)
+	if rows2[0] != -1 || rows2[1] != 1 {
+		t.Errorf("rows = %v, want [-1 1]", rows2)
+	}
+}
+
+func TestAssignAllForbidden(t *testing.T) {
+	ninf := math.Inf(-1)
+	rows, total := Assign([][]float64{{ninf}, {ninf}})
+	if rows[0] != -1 || rows[1] != -1 || total != 0 {
+		t.Errorf("rows = %v total = %v", rows, total)
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	rows, total := Assign(nil)
+	if rows != nil || total != 0 {
+		t.Errorf("Assign(nil) = %v, %v", rows, total)
+	}
+}
+
+// bruteForce finds the optimum by enumeration: maximize cardinality,
+// then weight.
+func bruteForce(w [][]float64) (int, float64) {
+	n, m := len(w), len(w[0])
+	bestCard, bestW := -1, math.Inf(-1)
+	usedCols := make([]bool, m)
+	var rec func(row, card int, sum float64)
+	rec = func(row, card int, sum float64) {
+		if row == n {
+			if card > bestCard || (card == bestCard && sum > bestW) {
+				bestCard, bestW = card, sum
+			}
+			return
+		}
+		rec(row+1, card, sum) // leave row unassigned
+		for j := 0; j < m; j++ {
+			if usedCols[j] || math.IsInf(w[row][j], -1) {
+				continue
+			}
+			usedCols[j] = true
+			rec(row+1, card+1, sum+w[row][j])
+			usedCols[j] = false
+		}
+	}
+	rec(0, 0, 0)
+	return bestCard, bestW
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				if rng.Intn(5) == 0 {
+					w[i][j] = math.Inf(-1)
+				} else {
+					w[i][j] = float64(rng.Intn(20))
+				}
+			}
+		}
+		rows, total := Assign(w)
+		// Validity: no duplicate columns, no forbidden edges.
+		seen := map[int]bool{}
+		card := 0
+		check := 0.0
+		for i, j := range rows {
+			if j < 0 {
+				continue
+			}
+			if seen[j] || math.IsInf(w[i][j], -1) {
+				return false
+			}
+			seen[j] = true
+			card++
+			check += w[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			return false
+		}
+		bc, bw := bruteForce(w)
+		if card != bc {
+			return false
+		}
+		return math.Abs(total-bw) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package place estimates the layout cost of a finished allocation —
+// the paper's closing future-work item ("extensions to the binding
+// model ... which more accurately model the actual layout"). Modules
+// (functional units and registers) are arranged on a one-dimensional
+// slice, the classic linear-placement abstraction for bit-sliced
+// datapaths; every point-to-point connection then has a wire length
+// equal to the distance between its endpoints' slots. A greedy
+// connectivity-ordered construction followed by pairwise-swap descent
+// minimizes the total weighted wire length.
+package place
+
+import (
+	"sort"
+
+	"salsa/internal/datapath"
+)
+
+// Module identifies one placeable block.
+type Module struct {
+	Kind  datapath.SourceKind // SrcFU or SrcReg
+	Index int
+}
+
+// Placement is a linear arrangement of the datapath's modules.
+type Placement struct {
+	// Order lists modules from slot 0 upward.
+	Order []Module
+	// SlotOf is the inverse mapping.
+	SlotOf map[Module]int
+	// WireLength is the total connection-weighted distance.
+	WireLength int
+	// Swaps is the number of improving swaps the descent applied.
+	Swaps int
+}
+
+// edge is an undirected module adjacency with multiplicity.
+type edge struct {
+	a, b Module
+	w    int
+}
+
+// Linear computes an optimized linear placement of the interconnect's
+// FU and register modules. External inputs, outputs and constants are
+// ignored (they sit at the slice boundary in real layouts).
+func Linear(ic *datapath.Interconnect) *Placement {
+	// Collect weighted module adjacencies from the connections.
+	weights := make(map[[2]Module]int)
+	modules := make(map[Module]bool)
+	addMod := func(m Module) { modules[m] = true }
+	for _, sink := range ic.Sinks() {
+		var dst Module
+		switch sink.Kind {
+		case datapath.SinkFUPort:
+			dst = Module{datapath.SrcFU, sink.Index}
+		case datapath.SinkReg:
+			dst = Module{datapath.SrcReg, sink.Index}
+		default:
+			continue
+		}
+		addMod(dst)
+		for _, src := range ic.SourcesOf(sink) {
+			if src.Kind != datapath.SrcFU && src.Kind != datapath.SrcReg {
+				continue
+			}
+			s := Module{src.Kind, src.Index}
+			addMod(s)
+			if s == dst {
+				continue
+			}
+			k := pairKey(s, dst)
+			weights[k]++
+		}
+	}
+	var mods []Module
+	for m := range modules {
+		mods = append(mods, m)
+	}
+	sort.Slice(mods, func(i, j int) bool { return lessMod(mods[i], mods[j]) })
+	var edges []edge
+	for k, w := range weights {
+		edges = append(edges, edge{k[0], k[1], w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return lessMod(edges[i].a, edges[j].a)
+		}
+		return lessMod(edges[i].b, edges[j].b)
+	})
+
+	// Greedy construction: seed with the heaviest edge, then repeatedly
+	// append (left or right) the unplaced module with the strongest
+	// pull toward the placed set.
+	p := &Placement{SlotOf: make(map[Module]int)}
+	placed := make(map[Module]bool)
+	var order []Module
+	appendMod := func(m Module, front bool) {
+		if front {
+			order = append([]Module{m}, order...)
+		} else {
+			order = append(order, m)
+		}
+		placed[m] = true
+	}
+	if len(mods) == 0 {
+		return p
+	}
+	if len(edges) > 0 {
+		appendMod(edges[0].a, false)
+		appendMod(edges[0].b, false)
+	} else {
+		appendMod(mods[0], false)
+	}
+	affinity := func(m Module) int {
+		a := 0
+		for _, e := range edges {
+			if e.a == m && placed[e.b] || e.b == m && placed[e.a] {
+				a += e.w
+			}
+		}
+		return a
+	}
+	for len(order) < len(mods) {
+		best := Module{}
+		bestAff := -1
+		for _, m := range mods {
+			if placed[m] {
+				continue
+			}
+			if a := affinity(m); a > bestAff {
+				best, bestAff = m, a
+			}
+		}
+		// Place on whichever end is cheaper.
+		leftCost, rightCost := 0, 0
+		for _, e := range edges {
+			var other Module
+			switch {
+			case e.a == best && placed[e.b]:
+				other = e.b
+			case e.b == best && placed[e.a]:
+				other = e.a
+			default:
+				continue
+			}
+			for i, m := range order {
+				if m == other {
+					leftCost += e.w * (i + 1)
+					rightCost += e.w * (len(order) - i)
+				}
+			}
+		}
+		appendMod(best, leftCost < rightCost)
+	}
+
+	cost := func() int {
+		slot := make(map[Module]int, len(order))
+		for i, m := range order {
+			slot[m] = i
+		}
+		total := 0
+		for _, e := range edges {
+			d := slot[e.a] - slot[e.b]
+			if d < 0 {
+				d = -d
+			}
+			total += e.w * d
+		}
+		return total
+	}
+
+	// Pairwise-swap descent to a local optimum.
+	cur := cost()
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				order[i], order[j] = order[j], order[i]
+				if c := cost(); c < cur {
+					cur = c
+					p.Swaps++
+					improved = true
+				} else {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+	}
+
+	p.Order = order
+	for i, m := range order {
+		p.SlotOf[m] = i
+	}
+	p.WireLength = cur
+	return p
+}
+
+func pairKey(a, b Module) [2]Module {
+	if lessMod(b, a) {
+		a, b = b, a
+	}
+	return [2]Module{a, b}
+}
+
+func lessMod(a, b Module) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Index < b.Index
+}

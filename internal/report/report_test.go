@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/core"
+	"salsa/internal/datapath"
+	"salsa/internal/lifetime"
+	"salsa/internal/workloads"
+)
+
+func allocate(t *testing.T, g *cdfg.Graph) *binding.Binding {
+	t.Helper()
+	d := cdfg.DefaultDelays(false)
+	a, lim, err := lifetime.MinFUAnalysis(g, d, g.CriticalPath(d)+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []string
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Input {
+			inputs = append(inputs, g.Nodes[i].Name)
+		}
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+1, inputs, true)
+	o := core.SALSAOptions(2)
+	o.MovesPerTrial = 250
+	o.MaxTrials = 5
+	res, err := core.Allocate(a, hw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Binding
+}
+
+func TestRegisterChart(t *testing.T) {
+	b := allocate(t, workloads.Diffeq())
+	out, err := RegisterChart(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"register occupancy", "R0", "values:", "loop wraps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Row width: name field + one char per storage step.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "R0") {
+			if len(line) != 5+b.A.StorageSteps {
+				t.Errorf("row width %d, want %d", len(line), 5+b.A.StorageSteps)
+			}
+		}
+	}
+}
+
+func TestFUChart(t *testing.T) {
+	b := allocate(t, workloads.Diffeq())
+	out, err := FUChart(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "alu0") || !strings.Contains(out, "mul0") {
+		t.Errorf("FU rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no multiplications in the diffeq chart")
+	}
+}
+
+func TestMuxSummary(t *testing.T) {
+	b := allocate(t, workloads.ARF())
+	out, err := MuxSummary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"interconnect:", "merged multiplexers:", "<- {"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestFullDeterministic(t *testing.T) {
+	b := allocate(t, workloads.FIR8())
+	o1, err := Full(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Full(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Error("Full report is not deterministic")
+	}
+}
+
+func TestChartsRejectIllegal(t *testing.T) {
+	b := allocate(t, workloads.Tseng())
+	b.SegReg[0][0] = -1
+	if _, err := RegisterChart(b); err == nil {
+		t.Error("RegisterChart accepted an illegal binding")
+	}
+}

@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"salsa/internal/cdfg"
+)
+
+// ForceDirected implements Paulin and Knight's force-directed
+// scheduling: a time-constrained scheduler that minimizes resource
+// usage by balancing, class by class, the expected number of
+// concurrently executing operators. It is the scheduler family behind
+// the HAL results the paper's EWF schedule lengths come from, provided
+// here as an alternative to list scheduling.
+//
+// At each step the algorithm computes every unfixed operator's time
+// frame (its ASAP..ALAP start window under current fixings), builds
+// per-class distribution graphs (the probabilistic occupancy of each
+// control step), and fixes the (operator, step) assignment with the
+// lowest total force — self force plus the predecessor/successor forces
+// induced by the implied frame tightenings. Ties break deterministically
+// toward earlier steps and lower node IDs.
+//
+// The release and deadline slices (optional, as in ListConstrained)
+// clip the windows, letting the lifetime repair loop drive this
+// scheduler too. The result is nil when no legal schedule exists.
+func ForceDirected(g *cdfg.Graph, d cdfg.Delays, steps int) *Schedule {
+	return ForceDirectedConstrained(g, d, steps, nil, nil)
+}
+
+// ForceDirectedConstrained is ForceDirected with per-op start windows.
+func ForceDirectedConstrained(g *cdfg.Graph, d cdfg.Delays, steps int, release, deadline []int) *Schedule {
+	if ALAP(g, d, steps) == nil {
+		return nil
+	}
+	f := &fds{g: g, d: d, steps: steps}
+	n := len(g.Nodes)
+	f.lo = make([]int, n)
+	f.hi = make([]int, n)
+	f.fixed = make([]bool, n)
+	f.start = make([]int, n)
+	for i := range f.start {
+		f.start[i] = -1
+	}
+	// Initial windows from dependency ASAP/ALAP clipped by caller
+	// windows.
+	if !f.computeFrames(release, deadline) {
+		return nil
+	}
+
+	var order []cdfg.NodeID
+	for i := range g.Nodes {
+		if g.Nodes[i].Op.IsArith() {
+			order = append(order, cdfg.NodeID(i))
+		}
+	}
+	for fixedCount := 0; fixedCount < len(order); fixedCount++ {
+		dg := f.distributions()
+		bestOp, bestStep, bestForce := cdfg.NoNode, -1, 0.0
+		for _, id := range order {
+			if f.fixed[id] {
+				continue
+			}
+			for t := f.lo[id]; t <= f.hi[id]; t++ {
+				force := f.totalForce(dg, id, t)
+				if bestOp == cdfg.NoNode || force < bestForce-1e-12 ||
+					(force < bestForce+1e-12 && (t < bestStep || (t == bestStep && id < bestOp))) {
+					bestOp, bestStep, bestForce = id, t, force
+				}
+			}
+		}
+		if bestOp == cdfg.NoNode {
+			return nil
+		}
+		f.fixed[bestOp] = true
+		f.start[bestOp] = bestStep
+		f.lo[bestOp] = bestStep
+		f.hi[bestOp] = bestStep
+		if !f.computeFrames(release, deadline) {
+			return nil
+		}
+	}
+
+	s := &Schedule{G: g, Delays: d, Steps: steps, Start: f.start}
+	s.fillSourceAndOutputStarts()
+	if err := s.Check(nil); err != nil {
+		return nil
+	}
+	return s
+}
+
+// fds carries the algorithm state.
+type fds struct {
+	g     *cdfg.Graph
+	d     cdfg.Delays
+	steps int
+	lo    []int // current earliest start per node
+	hi    []int // current latest start per node
+	fixed []bool
+	start []int
+}
+
+// computeFrames recomputes [lo, hi] windows given fixings and caller
+// windows, reporting false when any window empties.
+func (f *fds) computeFrames(release, deadline []int) bool {
+	g := f.g
+	// Forward pass: earliest starts.
+	for _, id := range g.Topo() {
+		n := &g.Nodes[id]
+		if !n.Op.IsArith() {
+			continue
+		}
+		if f.fixed[id] {
+			continue
+		}
+		lo := 0
+		if release != nil && release[id] > lo {
+			lo = release[id]
+		}
+		for _, a := range n.Args {
+			an := &g.Nodes[a]
+			if !an.Op.IsArith() {
+				continue
+			}
+			var fin int
+			if f.fixed[a] {
+				fin = f.start[a] + f.d.Of(an.Op)
+			} else {
+				fin = f.lo[a] + f.d.Of(an.Op)
+			}
+			if fin > lo {
+				lo = fin
+			}
+		}
+		f.lo[id] = lo
+	}
+	// Backward pass: latest starts.
+	topo := f.g.Topo()
+	for k := len(topo) - 1; k >= 0; k-- {
+		id := topo[k]
+		n := &g.Nodes[id]
+		if !n.Op.IsArith() {
+			continue
+		}
+		if f.fixed[id] {
+			continue
+		}
+		hi := f.steps - f.d.Of(n.Op)
+		if deadline != nil && deadline[id] >= 0 && deadline[id] < hi {
+			hi = deadline[id]
+		}
+		for _, u := range g.Uses(id) {
+			un := &g.Nodes[u]
+			if !un.Op.IsArith() {
+				continue
+			}
+			var lim int
+			if f.fixed[u] {
+				lim = f.start[u] - f.d.Of(n.Op)
+			} else {
+				lim = f.hi[u] - f.d.Of(n.Op)
+			}
+			if lim < hi {
+				hi = lim
+			}
+		}
+		f.hi[id] = hi
+		if f.lo[id] > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// distributions builds the per-class occupancy expectation per step:
+// each unfixed op contributes 1/frameWidth to every step its initiation
+// window could occupy for each start in its frame.
+func (f *fds) distributions() [NumClasses][]float64 {
+	var dg [NumClasses][]float64
+	for c := range dg {
+		dg[c] = make([]float64, f.steps)
+	}
+	for i := range f.g.Nodes {
+		n := &f.g.Nodes[i]
+		if !n.Op.IsArith() {
+			continue
+		}
+		c := ClassOf(n.Op)
+		ii := f.d.IIOf(n.Op)
+		width := f.hi[i] - f.lo[i] + 1
+		p := 1.0 / float64(width)
+		for st := f.lo[i]; st <= f.hi[i]; st++ {
+			for t := st; t < st+ii && t < f.steps; t++ {
+				dg[c][t] += p
+			}
+		}
+	}
+	return dg
+}
+
+// totalForce computes the force of fixing op id at step st: the self
+// force plus the indirect forces of the frame tightenings implied on
+// immediate predecessors and successors. Unlike the textbook
+// formulation, each contribution is evaluated against a scratch
+// distribution graph updated by the previous contributions, so that two
+// predecessors squeezed into the same steps correctly repel each other
+// (the classic per-op approximation lets them collapse onto one step).
+func (f *fds) totalForce(dg [NumClasses][]float64, id cdfg.NodeID, st int) float64 {
+	g := f.g
+	n := &g.Nodes[id]
+	// Scratch copy, mutated as contributions apply.
+	var scratch [NumClasses][]float64
+	for c := range scratch {
+		scratch[c] = append([]float64(nil), dg[c]...)
+	}
+	force := f.applyRange(&scratch, id, st, st)
+	// Predecessors must finish by st: their hi clips to st - delay.
+	for _, a := range n.Args {
+		an := &g.Nodes[a]
+		if !an.Op.IsArith() || f.fixed[a] {
+			continue
+		}
+		newHi := st - f.d.Of(an.Op)
+		if newHi < f.hi[a] {
+			force += f.applyRange(&scratch, a, f.lo[a], newHi)
+		}
+	}
+	// Successors cannot start before st + delay.
+	fin := st + f.d.Of(n.Op)
+	for _, u := range g.Uses(id) {
+		un := &g.Nodes[u]
+		if !un.Op.IsArith() || f.fixed[u] {
+			continue
+		}
+		if fin > f.lo[u] {
+			force += f.applyRange(&scratch, u, fin, f.hi[u])
+		}
+	}
+	return force
+}
+
+// applyRange computes the force of restricting op id's frame to
+// [lo, hi] against the scratch distribution graph and applies the
+// occupancy change to it, so later contributions see the effect.
+// The force is Σ DG(t)·Δp(t) over the op's possible occupancy steps.
+func (f *fds) applyRange(dg *[NumClasses][]float64, id cdfg.NodeID, lo, hi int) float64 {
+	if lo > hi {
+		return 1e9 // would empty the frame: strongly repel
+	}
+	n := &f.g.Nodes[id]
+	c := ClassOf(n.Op)
+	ii := f.d.IIOf(n.Op)
+	oldW := f.hi[id] - f.lo[id] + 1
+	newW := hi - lo + 1
+	pOld := 1.0 / float64(oldW)
+	pNew := 1.0 / float64(newW)
+	force := 0.0
+	for s0 := f.lo[id]; s0 <= f.hi[id]; s0++ {
+		delta := -pOld
+		if s0 >= lo && s0 <= hi {
+			delta = pNew - pOld
+		}
+		if delta == 0 {
+			continue
+		}
+		for t := s0; t < s0+ii && t < f.steps; t++ {
+			force += dg[c][t] * delta
+			dg[c][t] += delta
+		}
+	}
+	return force
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"salsa/internal/cdfg"
+)
+
+func TestFDSLegalOnChain(t *testing.T) {
+	g := chain(t)
+	d := cdfg.DefaultDelays(false)
+	cp := g.CriticalPath(d)
+	for _, steps := range []int{cp, cp + 2, cp + 4} {
+		s := ForceDirected(g, d, steps)
+		if s == nil {
+			t.Fatalf("FDS failed at %d steps", steps)
+		}
+		if err := s.Check(nil); err != nil {
+			t.Errorf("%d steps: %v", steps, err)
+		}
+	}
+}
+
+func TestFDSBalancesDiamond(t *testing.T) {
+	// Two independent mults with one step of slack: FDS must stagger
+	// them so a single multiplier suffices... with delay 2 and II 2,
+	// staggering needs 2 extra steps.
+	g := diamond(t)
+	d := cdfg.DefaultDelays(false)
+	s := ForceDirected(g, d, 5)
+	if s == nil {
+		t.Fatal("FDS failed at 5 steps")
+	}
+	lim := s.MinLimits()
+	if lim[ClassMul] != 1 {
+		t.Errorf("FDS used %d multipliers at 5 steps, want 1", lim[ClassMul])
+	}
+	// Pipelined multipliers stagger within 4 steps.
+	dp := cdfg.DefaultDelays(true)
+	sp := ForceDirected(g, dp, 4)
+	if sp == nil {
+		t.Fatal("FDS failed at 4 steps pipelined")
+	}
+	if got := sp.MinLimits()[ClassMul]; got != 1 {
+		t.Errorf("pipelined FDS used %d multipliers, want 1", got)
+	}
+}
+
+func TestFDSBelowCriticalPath(t *testing.T) {
+	g := chain(t)
+	d := cdfg.DefaultDelays(false)
+	if ForceDirected(g, d, g.CriticalPath(d)-1) != nil {
+		t.Error("FDS accepted a sub-critical-path length")
+	}
+}
+
+func TestFDSDeterministic(t *testing.T) {
+	g := randomDAG(7, 20)
+	d := cdfg.DefaultDelays(false)
+	steps := g.CriticalPath(d) + 3
+	s1 := ForceDirected(g, d, steps)
+	s2 := ForceDirected(g, d, steps)
+	if s1 == nil || s2 == nil {
+		t.Fatal("FDS failed")
+	}
+	for i := range s1.Start {
+		if s1.Start[i] != s2.Start[i] {
+			t.Fatalf("node %d: %d vs %d", i, s1.Start[i], s2.Start[i])
+		}
+	}
+}
+
+func TestFDSRespectsWindows(t *testing.T) {
+	g := cdfg.New("win")
+	x := g.Input("x")
+	y := g.Input("y")
+	a := g.Add("a", x, y)
+	b := g.Add("b", x, y)
+	g.Output("o", a)
+	g.Output("p", b)
+	d := cdfg.DefaultDelays(false)
+	release := make([]int, len(g.Nodes))
+	deadline := make([]int, len(g.Nodes))
+	for i := range deadline {
+		deadline[i] = -1
+	}
+	release[b] = 2
+	deadline[a] = 0
+	s := ForceDirectedConstrained(g, d, 4, release, deadline)
+	if s == nil {
+		t.Fatal("FDS failed under windows")
+	}
+	if s.Start[a] != 0 {
+		t.Errorf("a start %d, deadline 0", s.Start[a])
+	}
+	if s.Start[b] < 2 {
+		t.Errorf("b start %d, release 2", s.Start[b])
+	}
+	// Impossible window.
+	deadline[b] = 1
+	if ForceDirectedConstrained(g, d, 4, release, deadline) != nil {
+		t.Error("FDS accepted an empty window")
+	}
+}
+
+func TestPropertyFDSLegal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%22))
+		d := cdfg.DefaultDelays(seed%2 == 0)
+		steps := g.CriticalPath(d) + int(uint64(seed)%4)
+		s := ForceDirected(g, d, steps)
+		if s == nil {
+			return false
+		}
+		return s.Check(nil) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFDSCompetitiveWithList compares weighted FU area on random DAGs
+// with slack: FDS (resource-minimizing by design) should on average
+// match or beat the list scheduler's minimal budget; assert it is never
+// catastrophically worse and wins at least once across the sweep.
+func TestFDSCompetitiveWithList(t *testing.T) {
+	area := func(l Limits) int { return l[ClassALU] + 8*l[ClassMul] }
+	wins, losses := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		g := randomDAG(seed, 12+int(seed%14))
+		d := cdfg.DefaultDelays(false)
+		steps := g.CriticalPath(d) + 3
+		fs := ForceDirected(g, d, steps)
+		_, listLim := MinFUSchedule(g, d, steps)
+		if fs == nil {
+			t.Fatalf("seed %d: FDS failed", seed)
+		}
+		fa, la := area(fs.MinLimits()), area(listLim)
+		switch {
+		case fa < la:
+			wins++
+		case fa > la:
+			losses++
+			if fa > la*2 {
+				t.Errorf("seed %d: FDS area %d vs list %d (catastrophic)", seed, fa, la)
+			}
+		}
+	}
+	t.Logf("FDS vs list-minimal budgets: %d wins, %d losses of 30", wins, losses)
+	if wins == 0 && losses > 20 {
+		t.Error("FDS never competitive: suspicious implementation")
+	}
+}
+
+func TestFDSOnEWFShape(t *testing.T) {
+	// Under FDS the benchmark-style graphs must schedule with sane FU
+	// counts at relaxed lengths.
+	g := randomDAG(3, 30)
+	d := cdfg.DefaultDelays(false)
+	s := ForceDirected(g, d, g.CriticalPath(d)+5)
+	if s == nil {
+		t.Fatal("FDS failed")
+	}
+	lim := s.MinLimits()
+	if lim[ClassALU] < 1 && lim[ClassMul] < 1 {
+		t.Error("no FUs used")
+	}
+}

@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"salsa/internal/cdfg"
+)
+
+func chain(t *testing.T) *cdfg.Graph {
+	t.Helper()
+	g := cdfg.New("chain")
+	a := g.Input("a")
+	b := g.Input("b")
+	m := g.Mul("m", a, b)
+	s := g.Add("s", m, a)
+	u := g.Add("u", s, b)
+	g.Output("o", u)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// diamond has parallelism: two independent mults feed an add.
+func diamond(t *testing.T) *cdfg.Graph {
+	t.Helper()
+	g := cdfg.New("diamond")
+	a := g.Input("a")
+	b := g.Input("b")
+	m1 := g.Mul("m1", a, b)
+	m2 := g.Mul("m2", b, a)
+	s := g.Add("s", m1, m2)
+	g.Output("o", s)
+	return g
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(cdfg.Add) != ClassALU || ClassOf(cdfg.Sub) != ClassALU {
+		t.Error("add/sub must map to ClassALU")
+	}
+	if ClassOf(cdfg.Mul) != ClassMul {
+		t.Error("mul must map to ClassMul")
+	}
+}
+
+func TestASAPMatchesCriticalPath(t *testing.T) {
+	g := chain(t)
+	d := cdfg.DefaultDelays(false)
+	s := ASAP(g, d)
+	if s.Steps != g.CriticalPath(d) {
+		t.Errorf("ASAP length %d != critical path %d", s.Steps, g.CriticalPath(d))
+	}
+	if err := s.Check(nil); err != nil {
+		t.Errorf("ASAP schedule illegal: %v", err)
+	}
+}
+
+func TestALAPLegalAndTight(t *testing.T) {
+	g := chain(t)
+	d := cdfg.DefaultDelays(false)
+	cp := g.CriticalPath(d)
+	s := ALAP(g, d, cp+2)
+	if s == nil {
+		t.Fatal("ALAP returned nil for feasible length")
+	}
+	if err := s.Check(nil); err != nil {
+		t.Errorf("ALAP schedule illegal: %v", err)
+	}
+	// The sink op must finish exactly at the deadline.
+	var last cdfg.NodeID = -1
+	for i := range g.Nodes {
+		if g.Nodes[i].Op.IsArith() {
+			last = cdfg.NodeID(i)
+		}
+	}
+	if fin := s.FinishOf(last); fin != s.Steps {
+		t.Errorf("ALAP sink finishes at %d, want %d", fin, s.Steps)
+	}
+	if ALAP(g, d, cp-1) != nil {
+		t.Error("ALAP accepted a length below the critical path")
+	}
+}
+
+func TestListRespectsLimits(t *testing.T) {
+	g := diamond(t)
+	d := cdfg.DefaultDelays(false)
+	// One multiplier: the two mults must serialize, so we need 2+2+1 = 5 steps.
+	lim := Limits{ClassALU: 1, ClassMul: 1}
+	if s := List(g, d, 4, lim); s != nil {
+		t.Error("List found an impossible 4-step schedule with one multiplier")
+	}
+	s := List(g, d, 5, lim)
+	if s == nil {
+		t.Fatal("List failed at 5 steps with one multiplier")
+	}
+	if err := s.Check(&lim); err != nil {
+		t.Errorf("schedule violates limits: %v", err)
+	}
+	// Two multipliers allow the critical path of 3.
+	lim2 := Limits{ClassALU: 1, ClassMul: 2}
+	s2 := List(g, d, 3, lim2)
+	if s2 == nil {
+		t.Fatal("List failed at critical path with two multipliers")
+	}
+	if err := s2.Check(&lim2); err != nil {
+		t.Errorf("schedule violates limits: %v", err)
+	}
+}
+
+func TestPipelinedMulSharesUnit(t *testing.T) {
+	g := diamond(t)
+	d := cdfg.DefaultDelays(true) // II = 1
+	lim := Limits{ClassALU: 1, ClassMul: 1}
+	// Pipelined: second mult can start one step after the first:
+	// starts 0 and 1, finish 2 and 3, add at 3 -> 4 steps.
+	s := List(g, d, 4, lim)
+	if s == nil {
+		t.Fatal("List failed to exploit pipelined multiplier")
+	}
+	if err := s.Check(&lim); err != nil {
+		t.Errorf("pipelined schedule illegal: %v", err)
+	}
+}
+
+func TestMinFUSchedule(t *testing.T) {
+	g := diamond(t)
+	d := cdfg.DefaultDelays(false)
+	s, lim := MinFUSchedule(g, d, 3)
+	if s == nil {
+		t.Fatal("MinFUSchedule failed at critical path")
+	}
+	if lim[ClassMul] != 2 {
+		t.Errorf("3-step diamond needs 2 multipliers, got %d", lim[ClassMul])
+	}
+	s5, lim5 := MinFUSchedule(g, d, 5)
+	if s5 == nil {
+		t.Fatal("MinFUSchedule failed at 5 steps")
+	}
+	if lim5[ClassMul] != 1 {
+		t.Errorf("5-step diamond needs 1 multiplier, got %d", lim5[ClassMul])
+	}
+	if _, ok := any(s5).(*Schedule); !ok {
+		t.Fatal("unexpected type")
+	}
+	if got, _ := MinFUSchedule(g, d, 2); got != nil {
+		t.Error("MinFUSchedule accepted a sub-critical-path length")
+	}
+}
+
+func TestMinLimitsMatchesUsage(t *testing.T) {
+	g := diamond(t)
+	d := cdfg.DefaultDelays(false)
+	lim := Limits{ClassALU: 1, ClassMul: 2}
+	s := List(g, d, 3, lim)
+	if s == nil {
+		t.Fatal("List failed")
+	}
+	got := s.MinLimits()
+	if got[ClassMul] != 2 || got[ClassALU] != 1 {
+		t.Errorf("MinLimits = %v, want {1 2}", got)
+	}
+}
+
+func TestScheduleCyclicGraph(t *testing.T) {
+	g := cdfg.New("loop")
+	in := g.Input("in")
+	sv := g.State("sv")
+	m := g.MulC("m", sv, 3)
+	s := g.Add("s", in, m)
+	g.SetNext(sv, s)
+	g.Output("o", s)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := cdfg.DefaultDelays(false)
+	sc, lim := MinFUSchedule(g, d, 3)
+	if sc == nil {
+		t.Fatal("failed to schedule loop body")
+	}
+	if err := sc.Check(&lim); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDAG mirrors the cdfg test helper.
+func randomDAG(seed int64, nOps int) *cdfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := cdfg.New("rand")
+	var pool []cdfg.NodeID
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		pool = append(pool, g.Input(""))
+	}
+	for i := 0; i < nOps; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var id cdfg.NodeID
+		switch rng.Intn(3) {
+		case 0:
+			id = g.Add("", a, b)
+		case 1:
+			id = g.Sub("", a, b)
+		default:
+			id = g.Mul("", a, b)
+		}
+		pool = append(pool, id)
+	}
+	g.Output("out", pool[len(pool)-1])
+	return g
+}
+
+func TestPropertyListSchedulesAreLegal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%25))
+		d := cdfg.DefaultDelays(seed%2 == 0)
+		cp := g.CriticalPath(d)
+		steps := cp + int(uint64(seed)%4)
+		s, lim := MinFUSchedule(g, d, steps)
+		if s == nil {
+			return false
+		}
+		return s.Check(&lim) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoreStepsNeverMoreArea(t *testing.T) {
+	area := func(l Limits) int { return l[ClassALU] + 8*l[ClassMul] }
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%20))
+		d := cdfg.DefaultDelays(false)
+		cp := g.CriticalPath(d)
+		_, tight := MinFUSchedule(g, d, cp)
+		_, loose := MinFUSchedule(g, d, cp+4)
+		return area(loose) <= area(tight)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyALAPNotBeforeASAP(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 1+int(uint64(seed)%25))
+		d := cdfg.DefaultDelays(false)
+		asap := ASAP(g, d)
+		alap := ALAP(g, d, asap.Steps+3)
+		for i := range g.Nodes {
+			if g.Nodes[i].Op.IsArith() && alap.Start[i] < asap.Start[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListConstrainedWindows(t *testing.T) {
+	g := diamond(t)
+	d := cdfg.DefaultDelays(false)
+	release := make([]int, len(g.Nodes))
+	deadline := make([]int, len(g.Nodes))
+	for i := range deadline {
+		deadline[i] = -1
+	}
+	// Force the first mult to start no earlier than step 2.
+	var m1 cdfg.NodeID = -1
+	for i := range g.Nodes {
+		if g.Nodes[i].Name == "m1" {
+			m1 = cdfg.NodeID(i)
+		}
+	}
+	release[m1] = 2
+	lim := Limits{ClassALU: 1, ClassMul: 2}
+	s := ListConstrained(g, d, 5, lim, release, deadline)
+	if s == nil {
+		t.Fatal("ListConstrained failed under a feasible release")
+	}
+	if s.Start[m1] < 2 {
+		t.Errorf("release violated: m1 at %d", s.Start[m1])
+	}
+	// An empty window must fail cleanly.
+	deadline[m1] = 1
+	if ListConstrained(g, d, 5, lim, release, deadline) != nil {
+		t.Error("ListConstrained accepted an empty window")
+	}
+}
+
+func TestScheduleUsagePipelined(t *testing.T) {
+	g := diamond(t)
+	d := cdfg.DefaultDelays(true)
+	s := List(g, d, 4, Limits{ClassALU: 1, ClassMul: 1})
+	if s == nil {
+		t.Fatal("schedule failed")
+	}
+	use := s.Usage()
+	for t2, u := range use {
+		if u[ClassMul] > 1 {
+			t.Errorf("step %d: %d concurrent mult issues on one pipelined unit", t2, u[ClassMul])
+		}
+	}
+}

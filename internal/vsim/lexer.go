@@ -1,0 +1,154 @@
+// Package vsim parses and simulates the Verilog subset the rtl package
+// emits, closing the verification loop: an emitted netlist can be
+// executed cycle by cycle and compared against the CDFG reference
+// semantics, so the RTL path is validated end to end rather than by
+// text inspection.
+//
+// Supported constructs (exactly the emitter's output language):
+// module header with 32-bit signed ports, reg/wire declarations,
+// continuous assigns, wire initializers, always @(posedge clk) blocks
+// with if/else and non-blocking assignments, always @* blocks with case
+// statements and blocking assignments, and expressions over +, -, *,
+// ==, <, ||, ?:, parentheses, sized literals and identifiers.
+package vsim
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // already normalized to int64 value
+	tokPunct  // single/multi char operator or punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	pos  int // byte offset, for errors
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the source, stripping comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("vsim: line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+end], "\n")
+			l.pos += end + 2
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: l.line})
+		case unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(token{kind: tokEOF, pos: l.pos, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+// lexNumber handles plain decimals and sized literals 32'd5 / 32'sd5.
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		l.pos++ // width prefix consumed; only decimal bases appear
+		if l.pos < len(l.src) && l.src[l.pos] == 's' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) || l.src[l.pos] != 'd' {
+			return fmt.Errorf("vsim: line %d: unsupported literal base", l.line)
+		}
+		l.pos++
+		numStart := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		if numStart == l.pos {
+			return fmt.Errorf("vsim: line %d: malformed sized literal", l.line)
+		}
+		v, err := parseInt(l.src[numStart:l.pos])
+		if err != nil {
+			return fmt.Errorf("vsim: line %d: %v", l.line, err)
+		}
+		l.emit(token{kind: tokNumber, text: l.src[start:l.pos], val: v, pos: start, line: l.line})
+		return nil
+	}
+	v, err := parseInt(l.src[start:l.pos])
+	if err != nil {
+		return fmt.Errorf("vsim: line %d: %v", l.line, err)
+	}
+	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], val: v, pos: start, line: l.line})
+	return nil
+}
+
+var puncts = []string{
+	"<=", "==", "||", "&&", "@*", "(", ")", "[", "]", ":", ";", ",", "?",
+	"+", "-", "*", "<", ">", "=", "@", ".",
+}
+
+func (l *lexer) lexPunct() error {
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.emit(token{kind: tokPunct, text: p, pos: l.pos, line: l.line})
+			l.pos += len(p)
+			return nil
+		}
+	}
+	return fmt.Errorf("vsim: line %d: unexpected character %q", l.line, l.src[l.pos])
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return 0, fmt.Errorf("bad integer %q", s)
+		}
+		v = v*10 + int64(r-'0')
+	}
+	return v, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' || r == '$' }
+func isIdentPart(r rune) bool  { return isIdentStart(r) || unicode.IsDigit(r) }

@@ -1,0 +1,504 @@
+package vsim
+
+import "fmt"
+
+// --- AST -----------------------------------------------------------------
+
+type expr interface{ eval(s *state) int64 }
+
+type exprNum struct{ v int64 }
+
+type exprIdent struct{ name string }
+
+type exprUnary struct {
+	op string
+	x  expr
+}
+
+type exprBin struct {
+	op   string
+	l, r expr
+}
+
+type exprCond struct{ c, t, f expr }
+
+type stmt interface {
+	exec(s *state, nb map[string]int64)
+}
+
+// stmtAssign covers both blocking (comb) and non-blocking (seq) forms;
+// the execution context decides where the value lands.
+type stmtAssign struct {
+	lhs         string
+	rhs         expr
+	nonBlocking bool
+}
+
+type stmtIf struct {
+	cond expr
+	then []stmt
+	els  []stmt
+}
+
+type caseArm struct {
+	match int64
+	body  []stmt
+}
+
+type stmtCase struct {
+	sel  expr
+	arms []caseArm
+	def  []stmt
+}
+
+// Module is a parsed design.
+type Module struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+
+	regs  []string
+	wires []struct {
+		name string
+		e    expr
+	}
+	combBlocks [][]stmt
+	seqBlocks  [][]stmt
+}
+
+// --- Parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a module in the emitter's Verilog subset.
+func Parse(src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m := &Module{}
+	if err := p.module(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+// next consumes the current token; at EOF it returns the EOF token
+// without advancing, so runaway loops fail via atEOF checks instead of
+// panicking.
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("vsim: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) module(m *Module) error {
+	if err := p.expect("module"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	m.Name = name
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for !p.accept(")") {
+		if p.atEOF() {
+			return p.errf("unexpected end of file in port list")
+		}
+		dir := p.next().text // input | output
+		p.accept("wire")
+		p.accept("signed")
+		p.skipRange()
+		pn, err := p.ident()
+		if err != nil {
+			return err
+		}
+		switch dir {
+		case "input":
+			m.Inputs = append(m.Inputs, pn)
+		case "output":
+			m.Outputs = append(m.Outputs, pn)
+		default:
+			return p.errf("expected port direction, found %q", dir)
+		}
+		p.accept(",")
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	for !p.accept("endmodule") {
+		if p.atEOF() {
+			return p.errf("unexpected end of file in module body")
+		}
+		if err := p.item(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) skipRange() {
+	if p.accept("[") {
+		for !p.accept("]") && !p.atEOF() {
+			p.i++
+		}
+	}
+}
+
+func (p *parser) item(m *Module) error {
+	switch {
+	case p.accept("reg"):
+		p.accept("signed")
+		p.skipRange()
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			m.regs = append(m.regs, name)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return p.expect(";")
+	case p.accept("wire"):
+		p.accept("signed")
+		p.skipRange()
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		m.wires = append(m.wires, struct {
+			name string
+			e    expr
+		}{name, e})
+		return p.expect(";")
+	case p.accept("assign"):
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		m.wires = append(m.wires, struct {
+			name string
+			e    expr
+		}{name, e})
+		return p.expect(";")
+	case p.accept("always"):
+		if p.accept("@*") {
+			stmts, err := p.stmtList(false)
+			if err != nil {
+				return err
+			}
+			m.combBlocks = append(m.combBlocks, stmts)
+			return nil
+		}
+		if err := p.expect("@"); err != nil {
+			return err
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		if err := p.expect("posedge"); err != nil {
+			return err
+		}
+		if _, err := p.ident(); err != nil { // clk
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		stmts, err := p.stmtList(true)
+		if err != nil {
+			return err
+		}
+		m.seqBlocks = append(m.seqBlocks, stmts)
+		return nil
+	default:
+		return p.errf("unexpected token %q", p.cur().text)
+	}
+}
+
+// stmtList parses a single statement or a begin/end block.
+func (p *parser) stmtList(seq bool) ([]stmt, error) {
+	if p.accept("begin") {
+		var out []stmt
+		for !p.accept("end") {
+			if p.atEOF() {
+				return nil, p.errf("unexpected end of file in block")
+			}
+			s, err := p.statement(seq)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	s, err := p.statement(seq)
+	if err != nil {
+		return nil, err
+	}
+	return []stmt{s}, nil
+}
+
+func (p *parser) statement(seq bool) (stmt, error) {
+	switch {
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtList(seq)
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.accept("else") {
+			els, err = p.stmtList(seq)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &stmtIf{cond: cond, then: then, els: els}, nil
+	case p.accept("case"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sel, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		cs := &stmtCase{sel: sel}
+		for !p.accept("endcase") {
+			if p.atEOF() {
+				return nil, p.errf("unexpected end of file in case")
+			}
+			if p.accept("default") {
+				if err := p.expect(":"); err != nil {
+					return nil, err
+				}
+				body, err := p.stmtList(seq)
+				if err != nil {
+					return nil, err
+				}
+				cs.def = body
+				continue
+			}
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("expected case label, found %q", p.cur().text)
+			}
+			label := p.next().val
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmtList(seq)
+			if err != nil {
+				return nil, err
+			}
+			cs.arms = append(cs.arms, caseArm{match: label, body: body})
+		}
+		return cs, nil
+	default:
+		lhs, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		nb := false
+		if p.accept("<=") {
+			nb = true
+		} else if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if nb != seq {
+			return nil, p.errf("%s assignment in wrong block kind", map[bool]string{true: "non-blocking", false: "blocking"}[nb])
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &stmtAssign{lhs: lhs, rhs: rhs, nonBlocking: nb}, nil
+	}
+}
+
+// --- Expressions (precedence climbing) -----------------------------------
+
+func (p *parser) expr() (expr, error) { return p.condExpr() }
+
+func (p *parser) condExpr() (expr, error) {
+	c, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		t, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &exprCond{c: c, t: t, f: f}, nil
+	}
+	return c, nil
+}
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "||" || p.cur().text == "&&" {
+		op := p.next().text
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &exprBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "==" || p.cur().text == "<" || p.cur().text == ">" {
+		op := p.next().text
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &exprBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "+" || p.cur().text == "-" {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &exprBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().text == "*" {
+		p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &exprBin{op: "*", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.accept("-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &exprUnary{op: "-", x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	switch {
+	case p.cur().kind == tokNumber:
+		return &exprNum{v: p.next().val}, nil
+	case p.cur().kind == tokIdent:
+		return &exprIdent{name: p.next().text}, nil
+	case p.accept("("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	default:
+		return nil, p.errf("unexpected token %q in expression", p.cur().text)
+	}
+}

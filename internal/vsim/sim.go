@@ -1,0 +1,231 @@
+package vsim
+
+import "fmt"
+
+// state holds all signal values during simulation.
+type state struct {
+	vals map[string]int64
+}
+
+func (e *exprNum) eval(s *state) int64   { return e.v }
+func (e *exprIdent) eval(s *state) int64 { return s.vals[e.name] }
+
+func (e *exprUnary) eval(s *state) int64 {
+	switch e.op {
+	case "-":
+		return -e.x.eval(s)
+	default:
+		panic("vsim: unknown unary " + e.op)
+	}
+}
+
+func (e *exprBin) eval(s *state) int64 {
+	l := e.l.eval(s)
+	switch e.op {
+	case "||":
+		if l != 0 {
+			return 1
+		}
+		if e.r.eval(s) != 0 {
+			return 1
+		}
+		return 0
+	case "&&":
+		if l == 0 {
+			return 0
+		}
+		if e.r.eval(s) != 0 {
+			return 1
+		}
+		return 0
+	}
+	r := e.r.eval(s)
+	switch e.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "==":
+		if l == r {
+			return 1
+		}
+		return 0
+	case "<":
+		if l < r {
+			return 1
+		}
+		return 0
+	case ">":
+		if l > r {
+			return 1
+		}
+		return 0
+	default:
+		panic("vsim: unknown binary " + e.op)
+	}
+}
+
+func (e *exprCond) eval(s *state) int64 {
+	if e.c.eval(s) != 0 {
+		return e.t.eval(s)
+	}
+	return e.f.eval(s)
+}
+
+// exec semantics: blocking assignments write the live state (used in
+// always @* blocks); non-blocking assignments stage into nb for commit
+// at the end of the clock edge.
+func (st *stmtAssign) exec(s *state, nb map[string]int64) {
+	v := st.rhs.eval(s)
+	if st.nonBlocking {
+		nb[st.lhs] = v
+	} else {
+		s.vals[st.lhs] = v
+	}
+}
+
+func (st *stmtIf) exec(s *state, nb map[string]int64) {
+	var body []stmt
+	if st.cond.eval(s) != 0 {
+		body = st.then
+	} else {
+		body = st.els
+	}
+	for _, b := range body {
+		b.exec(s, nb)
+	}
+}
+
+func (st *stmtCase) exec(s *state, nb map[string]int64) {
+	sel := st.sel.eval(s)
+	for _, arm := range st.arms {
+		if arm.match == sel {
+			for _, b := range arm.body {
+				b.exec(s, nb)
+			}
+			return
+		}
+	}
+	for _, b := range st.def {
+		b.exec(s, nb)
+	}
+}
+
+// Sim executes a parsed module.
+type Sim struct {
+	m *Module
+	s *state
+}
+
+// NewSim prepares a simulator with all signals zero and rst asserted;
+// call Reset (or SetInput + Tick) to begin.
+func NewSim(m *Module) *Sim {
+	return &Sim{m: m, s: &state{vals: make(map[string]int64)}}
+}
+
+// SetInput drives an input port.
+func (x *Sim) SetInput(name string, v int64) error {
+	for _, in := range x.m.Inputs {
+		if in == name {
+			x.s.vals[name] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("vsim: no input %q", name)
+}
+
+// Peek reads any signal's settled value.
+func (x *Sim) Peek(name string) int64 { return x.s.vals[name] }
+
+// settle evaluates the combinational network (wire initializers,
+// continuous assigns, always @* blocks) to a fixed point. The emitted
+// netlists contain only step-gated false cycles, so a bounded iteration
+// converges; a true combinational loop is reported as an error.
+func (x *Sim) settle() error {
+	for iter := 0; iter < 200; iter++ {
+		changed := false
+		for _, w := range x.m.wires {
+			v := w.e.eval(x.s)
+			if x.s.vals[w.name] != v {
+				x.s.vals[w.name] = v
+				changed = true
+			}
+		}
+		for _, blk := range x.m.combBlocks {
+			before := snapshotTargets(blk, x.s)
+			for _, st := range blk {
+				st.exec(x.s, nil)
+			}
+			if !same(before, x.s) {
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("vsim: combinational network did not settle (true loop?)")
+}
+
+func snapshotTargets(blk []stmt, s *state) map[string]int64 {
+	out := make(map[string]int64)
+	var walk func(ss []stmt)
+	walk = func(ss []stmt) {
+		for _, st := range ss {
+			switch t := st.(type) {
+			case *stmtAssign:
+				out[t.lhs] = s.vals[t.lhs]
+			case *stmtIf:
+				walk(t.then)
+				walk(t.els)
+			case *stmtCase:
+				for _, a := range t.arms {
+					walk(a.body)
+				}
+				walk(t.def)
+			}
+		}
+	}
+	walk(blk)
+	return out
+}
+
+func same(before map[string]int64, s *state) bool {
+	for k, v := range before {
+		if s.vals[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances one clock edge: settle combinational logic, execute all
+// posedge blocks against the settled pre-edge state (staging
+// non-blocking assignments), commit, and settle again.
+func (x *Sim) Tick() error {
+	if err := x.settle(); err != nil {
+		return err
+	}
+	nb := make(map[string]int64)
+	for _, blk := range x.m.seqBlocks {
+		for _, st := range blk {
+			st.exec(x.s, nb)
+		}
+	}
+	for k, v := range nb {
+		x.s.vals[k] = v
+	}
+	return x.settle()
+}
+
+// Reset pulses rst for one edge and releases it.
+func (x *Sim) Reset() error {
+	x.s.vals["rst"] = 1
+	if err := x.Tick(); err != nil {
+		return err
+	}
+	x.s.vals["rst"] = 0
+	return x.settle()
+}

@@ -1,0 +1,353 @@
+package vsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/core"
+	"salsa/internal/datapath"
+	"salsa/internal/lifetime"
+	"salsa/internal/rtl"
+	"salsa/internal/workloads"
+)
+
+const counter = `
+// a trivial counter with a combinational double
+module counter (
+  input  wire                clk,
+  input  wire                rst,
+  input  wire signed [31:0] in_x,
+  output wire signed [31:0] out_y
+);
+  reg [3:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 0;
+    else step <= (step == 4) ? 0 : step + 1;
+  end
+  reg signed [31:0] acc;
+  always @(posedge clk) if (step == 1 || step == 3) acc <= acc + in_x;
+  reg signed [31:0] dbl;
+  always @* begin
+    case (step)
+      2: dbl = acc * 32'sd2;
+      default: dbl = -32'sd1;
+    endcase
+  end
+  assign out_y = dbl;
+endmodule
+`
+
+func TestParseAndSimulateCounter(t *testing.T) {
+	m, err := Parse(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "counter" || len(m.Inputs) != 3 || len(m.Outputs) != 1 {
+		t.Fatalf("module header mis-parsed: %+v", m)
+	}
+	s := NewSim(m)
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("in_x", 5); err != nil {
+		t.Fatal(err)
+	}
+	// step: 0,1,2,...; acc += x at edges ending steps 1 and 3.
+	want := map[int64]int64{2: 10} // after the step-1 edge, at step 2: acc=5 -> dbl=10
+	for tick := 0; tick < 12; tick++ {
+		st := s.Peek("step")
+		if w, ok := want[st]; ok && tick < 5 {
+			if got := s.Peek("out_y"); got != w {
+				t.Errorf("tick %d step %d: out_y = %d, want %d", tick, st, got, w)
+			}
+		}
+		if st != 2 && s.Peek("out_y") != -1 {
+			t.Errorf("default arm not taken at step %d", st)
+		}
+		if err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module x (",
+		"module x (); wire y = ; endmodule",
+		"module x (); always @(negedge clk) y <= 1; endmodule",
+		"module x (); reg r; always @* r <= 1; endmodule",            // NB in comb
+		"module x (); reg r; always @(posedge clk) r = 1; endmodule", // blocking in seq
+		"module x (); foo bar; endmodule",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestLexerSizedLiterals(t *testing.T) {
+	toks, err := lex("32'sd42 -32'sd7 19 32'd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{}
+	for _, tk := range toks {
+		if tk.kind == tokNumber {
+			vals = append(vals, tk.val)
+		}
+	}
+	if len(vals) != 4 || vals[0] != 42 || vals[1] != 7 || vals[2] != 19 || vals[3] != 0 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestSetInputUnknown(t *testing.T) {
+	m, err := Parse(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSim(m).SetInput("nope", 1); err == nil {
+		t.Error("SetInput accepted unknown port")
+	}
+}
+
+// --- End-to-end: emitted netlists simulate to the reference semantics ---
+
+type rig struct {
+	b   *bindingLike
+	m   *Module
+	sim *Sim
+}
+
+type bindingLike struct {
+	g        *cdfg.Graph
+	steps    int
+	outStep  map[string]int // output name -> raw read step
+	analysis *lifetime.Analysis
+}
+
+func buildRig(t *testing.T, g *cdfg.Graph, extraSteps, extraRegs int, seed int64) *rig {
+	t.Helper()
+	d := cdfg.DefaultDelays(false)
+	a, lim, err := lifetime.MinFUAnalysis(g, d, g.CriticalPath(d)+extraSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []string
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Input {
+			inputs = append(inputs, g.Nodes[i].Name)
+		}
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+extraRegs, inputs, true)
+	o := core.SALSAOptions(seed)
+	o.MovesPerTrial = 250
+	o.MaxTrials = 5
+	res, err := core.Allocate(a, hw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := rtl.Emit(res.Binding, "dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(nl.Text)
+	if err != nil {
+		t.Fatalf("emitted RTL failed to parse: %v\n%s", err, nl.Text)
+	}
+	outStep := make(map[string]int)
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Output {
+			outStep[g.Nodes[i].Name] = a.Sched.Start[i]
+		}
+	}
+	sim := NewSim(m)
+	if err := sim.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{b: &bindingLike{g: g, steps: a.Sched.Steps, outStep: outStep, analysis: a}, m: m, sim: sim}
+}
+
+// runIteration drives one loop iteration (or the single pass of a
+// straight-line design) and checks every output at its read step.
+func (r *rig) runIteration(t *testing.T, env cdfg.Env, ref *cdfg.EvalResult, firstIter bool) {
+	t.Helper()
+	for name, v := range env {
+		if err := r.sim.SetInput("in_"+name, v); err == nil {
+			_ = v
+		}
+	}
+	T := r.b.steps
+	storage := T
+	if !r.b.g.Cyclic {
+		storage = T + 1
+	}
+	for step := 0; step < storage; step++ {
+		if got := r.sim.Peek("step"); got != int64(step%((storage)+1)) && got != int64(step) {
+			// step counter holds at T for straight-line designs
+			t.Fatalf("step counter drift: have %d, expected %d", got, step)
+		}
+		for name, rs := range r.b.outStep {
+			if rs != step {
+				continue
+			}
+			want := ref.Outputs[name]
+			if got := r.sim.Peek("out_" + name); got != want {
+				t.Errorf("output %s at step %d: RTL %d, reference %d", name, step, got, want)
+			}
+		}
+		if step < T {
+			if err := r.sim.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Cyclic wrapped outputs surface at step 0 of the next iteration.
+	if r.b.g.Cyclic {
+		for name, rs := range r.b.outStep {
+			if rs < T {
+				continue
+			}
+			want := ref.Outputs[name]
+			if got := r.sim.Peek("out_" + name); got != want {
+				t.Errorf("wrapped output %s: RTL %d, reference %d", name, got, want)
+			}
+		}
+	}
+	_ = firstIter
+}
+
+func TestRTLSimulatesDCT(t *testing.T) {
+	g := workloads.DCT()
+	r := buildRig(t, g, 2, 1, 3)
+	env := cdfg.Env{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8; i++ {
+		env[g.Nodes[i].Name] = int64(rng.Intn(200) - 100)
+	}
+	ref, err := g.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.runIteration(t, env, ref, true)
+}
+
+func TestRTLSimulatesLoops(t *testing.T) {
+	for _, name := range []string{"fir8", "arf", "ewf"} {
+		g := workloads.All()[name]()
+		r := buildRig(t, g, 2, 1, 5)
+		env := cdfg.Env{}
+		for i := range g.Nodes {
+			switch g.Nodes[i].Op {
+			case cdfg.State:
+				env[g.Nodes[i].Name] = 0 // registers power up at zero
+			case cdfg.Input:
+				env[g.Nodes[i].Name] = 0
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		for iter := 0; iter < 4; iter++ {
+			for i := range g.Nodes {
+				if g.Nodes[i].Op == cdfg.Input {
+					env[g.Nodes[i].Name] = int64(rng.Intn(100) - 50)
+				}
+			}
+			ref, err := g.Eval(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.runIteration(t, env, ref, iter == 0)
+			for k, v := range ref.NextState {
+				env[k] = v
+			}
+		}
+		t.Logf("%s: 4 iterations of emitted RTL match reference", name)
+	}
+}
+
+func TestRTLSimulatesQuickstartPoly(t *testing.T) {
+	g := cdfg.New("poly2")
+	x := g.Input("x")
+	a := g.Input("a")
+	bIn := g.Input("b")
+	s := g.Add("s", x, a)
+	m := g.Mul("m", s, x)
+	y := g.Add("y", m, bIn)
+	g.Output("y_out", y)
+	r := buildRig(t, g, 2, 1, 1)
+	env := cdfg.Env{"x": 3, "a": 4, "b": 5}
+	ref, err := g.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.runIteration(t, env, ref, true)
+}
+
+func TestVerifyBindingAllWorkloads(t *testing.T) {
+	for name, build := range workloads.All() {
+		g := build()
+		d := cdfg.DefaultDelays(false)
+		a, lim, err := lifetime.MinFUAnalysis(g, d, g.CriticalPath(d)+2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var inputs []string
+		for i := range g.Nodes {
+			if g.Nodes[i].Op == cdfg.Input {
+				inputs = append(inputs, g.Nodes[i].Name)
+			}
+		}
+		hw := datapath.NewHardware(lim, a.MinRegs+1, inputs, true)
+		o := core.SALSAOptions(6)
+		o.MovesPerTrial = 200
+		o.MaxTrials = 4
+		res, err := core.Allocate(a, hw, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		env := cdfg.Env{}
+		for i := range g.Nodes {
+			switch g.Nodes[i].Op {
+			case cdfg.Input:
+				env[g.Nodes[i].Name] = int64(11*i - 30)
+			case cdfg.State:
+				env[g.Nodes[i].Name] = 0
+			}
+		}
+		iters := 1
+		if g.Cyclic {
+			iters = 3
+		}
+		if err := VerifyBinding(res.Binding, env, iters); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyBindingRejectsNonZeroLoopState(t *testing.T) {
+	g := workloads.FIR8()
+	d := cdfg.DefaultDelays(false)
+	a, lim, err := lifetime.MinFUAnalysis(g, d, g.CriticalPath(d)+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+1, []string{"in"}, true)
+	o := core.SALSAOptions(1)
+	o.MovesPerTrial = 150
+	o.MaxTrials = 3
+	res, err := core.Allocate(a, hw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := cdfg.Env{"in": 1}
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.State {
+			env[g.Nodes[i].Name] = 5
+		}
+	}
+	if err := VerifyBinding(res.Binding, env, 1); err == nil {
+		t.Error("VerifyBinding accepted non-zero initial loop state")
+	}
+}

@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"testing"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/lifetime"
+	"salsa/internal/sched"
+)
+
+func TestAllValidate(t *testing.T) {
+	for name, build := range All() {
+		g := build()
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestEWFProfile(t *testing.T) {
+	g := EWF()
+	if got := g.OpCount(cdfg.Add); got != 26 {
+		t.Errorf("EWF adds = %d, want 26", got)
+	}
+	if got := g.OpCount(cdfg.Sub); got != 0 {
+		t.Errorf("EWF subs = %d, want 0", got)
+	}
+	if got := g.OpCount(cdfg.Mul); got != 8 {
+		t.Errorf("EWF muls = %d, want 8", got)
+	}
+	if got := g.NumOps(); got != 34 {
+		t.Errorf("EWF ops = %d, want 34", got)
+	}
+	if got := g.OpCount(cdfg.State); got != 7 {
+		t.Errorf("EWF states = %d, want 7", got)
+	}
+	if !g.Cyclic {
+		t.Error("EWF must be cyclic")
+	}
+	d := cdfg.DefaultDelays(false)
+	if cp := g.CriticalPath(d); cp != 17 {
+		t.Errorf("EWF critical path = %d, want 17", cp)
+	}
+}
+
+func TestEWFSchedulesOfTable2(t *testing.T) {
+	g := EWF()
+	for _, tc := range []struct {
+		steps     int
+		pipelined bool
+	}{{17, false}, {17, true}, {19, false}, {19, true}, {21, false}} {
+		d := cdfg.DefaultDelays(tc.pipelined)
+		a, lim, err := lifetime.MinFUAnalysis(g, d, tc.steps)
+		if err != nil {
+			t.Errorf("EWF %d steps (pipelined=%v): %v", tc.steps, tc.pipelined, err)
+			continue
+		}
+		if err := a.Sched.Check(&lim); err != nil {
+			t.Errorf("EWF %d steps: %v", tc.steps, err)
+		}
+		if a.MinRegs < 7 {
+			t.Errorf("EWF %d steps: MinRegs = %d, implausibly small", tc.steps, a.MinRegs)
+		}
+		t.Logf("EWF %2d steps pipelined=%-5v: ALUs=%d muls=%d minRegs=%d",
+			tc.steps, tc.pipelined, lim[sched.ClassALU], lim[sched.ClassMul], a.MinRegs)
+	}
+}
+
+func TestDCTProfile(t *testing.T) {
+	g := DCT()
+	if got := g.OpCount(cdfg.Add); got != 25 {
+		t.Errorf("DCT adds = %d, want 25", got)
+	}
+	if got := g.OpCount(cdfg.Sub); got != 7 {
+		t.Errorf("DCT subs = %d, want 7", got)
+	}
+	if got := g.OpCount(cdfg.Mul); got != 16 {
+		t.Errorf("DCT muls = %d, want 16", got)
+	}
+	if got := g.OpCount(cdfg.Input); got != 8 {
+		t.Errorf("DCT inputs = %d, want 8", got)
+	}
+	if got := g.OpCount(cdfg.Output); got != 8 {
+		t.Errorf("DCT outputs = %d, want 8", got)
+	}
+	if g.Cyclic {
+		t.Error("DCT must be straight-line")
+	}
+}
+
+// TestDCTIsAnOrthogonalTransformShape sanity-checks the reference
+// semantics: X0 is proportional to the input sum (DC term).
+func TestDCTDCTerm(t *testing.T) {
+	g := DCT()
+	env := cdfg.Env{}
+	for i := 0; i < 8; i++ {
+		env[g.Nodes[i].Name] = 1
+	}
+	res, err := g.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["out0"] != 8*23170 {
+		t.Errorf("DC term = %d, want %d", res.Outputs["out0"], 8*23170)
+	}
+	// All-equal input has zero difference terms: every odd output and
+	// X2/X4/X6 must vanish.
+	for _, o := range []string{"out1", "out2", "out3", "out4", "out5", "out6", "out7"} {
+		if res.Outputs[o] != 0 {
+			t.Errorf("%s = %d, want 0 for constant input", o, res.Outputs[o])
+		}
+	}
+}
+
+func TestFIRBehaviour(t *testing.T) {
+	// Transposed FIR: the impulse response must be the coefficient
+	// sequence c0, c1, ..., c(n-1).
+	g := FIR8()
+	env := cdfg.Env{"in": 1}
+	for i := 1; i <= 7; i++ {
+		env[g.Nodes[i].Name] = 0
+	}
+	// Collect coefficient constants in tap order.
+	var want []int64
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Const {
+			want = append(want, g.Nodes[i].ConstVal)
+		}
+	}
+	var got []int64
+	for iter := 0; iter < 8; iter++ {
+		res, err := g.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Outputs["out"])
+		for k, v := range res.NextState {
+			env[k] = v
+		}
+		env["in"] = 0 // impulse
+	}
+	if len(got) != len(want) {
+		t.Fatalf("impulse response length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("h[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestARFProfile(t *testing.T) {
+	g := ARF()
+	if got := g.OpCount(cdfg.Mul); got != 16 {
+		t.Errorf("ARF muls = %d, want 16", got)
+	}
+	if got := g.OpCount(cdfg.Add); got != 12 {
+		t.Errorf("ARF adds = %d, want 12", got)
+	}
+	if !g.Cyclic {
+		t.Error("ARF must be cyclic")
+	}
+	d := cdfg.DefaultDelays(false)
+	cp := g.CriticalPath(d)
+	if _, _, err := lifetime.MinFUAnalysis(g, d, cp+2); err != nil {
+		t.Errorf("ARF lifetimes: %v", err)
+	}
+}
+
+func TestDiffeqProfile(t *testing.T) {
+	g := Diffeq()
+	if got := g.OpCount(cdfg.Mul); got != 6 {
+		t.Errorf("diffeq muls = %d, want 6", got)
+	}
+	if got := g.OpCount(cdfg.Add); got != 2 {
+		t.Errorf("diffeq adds = %d, want 2", got)
+	}
+	if got := g.OpCount(cdfg.Sub); got != 3 {
+		t.Errorf("diffeq subs = %d, want 3", got)
+	}
+	if got := g.OpCount(cdfg.State); got != 3 {
+		t.Errorf("diffeq states = %d, want 3", got)
+	}
+	// One Euler step with dx=1 from x=0, y=1, u=0:
+	// u' = u - 3xu·dx - 3y·dx = -3 ; y' = y + u·dx = 1 ; x' = 1.
+	res, err := g.Eval(cdfg.Env{"dx": 1, "a": 10, "x": 0, "y": 1, "u": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextState["u"] != -3 || res.NextState["y"] != 1 || res.NextState["x"] != 1 {
+		t.Errorf("Euler step wrong: %v", res.NextState)
+	}
+	if res.Outputs["c"] != 9 {
+		t.Errorf("c = %d, want 9", res.Outputs["c"])
+	}
+}
+
+func TestAllSchedulableAndAnalyzable(t *testing.T) {
+	for name, build := range All() {
+		g := build()
+		d := cdfg.DefaultDelays(false)
+		cp := g.CriticalPath(d)
+		for extra := 0; extra <= 4; extra += 2 {
+			a, lim, err := lifetime.MinFUAnalysis(g, d, cp+extra)
+			if err != nil {
+				t.Errorf("%s at %d steps: %v", name, cp+extra, err)
+				continue
+			}
+			if err := a.Sched.Check(&lim); err != nil {
+				t.Errorf("%s at %d steps: %v", name, cp+extra, err)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministicAndSchedulable(t *testing.T) {
+	g1 := Synthetic(60, 5)
+	g2 := Synthetic(60, 5)
+	if len(g1.Nodes) != len(g2.Nodes) {
+		t.Fatal("Synthetic is not deterministic")
+	}
+	for i := range g1.Nodes {
+		if g1.Nodes[i].Op != g2.Nodes[i].Op {
+			t.Fatal("Synthetic node sequence differs")
+		}
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumOps() != 60 {
+		t.Errorf("ops = %d, want 60", g1.NumOps())
+	}
+	d := cdfg.DefaultDelays(false)
+	if _, _, err := lifetime.MinFUAnalysis(g1, d, g1.CriticalPath(d)+3); err != nil {
+		t.Errorf("synthetic graph unschedulable: %v", err)
+	}
+}

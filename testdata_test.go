@@ -1,0 +1,83 @@
+package salsa_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/workloads"
+)
+
+// TestCorpusMatchesBuilders keeps the JSON corpus in testdata/ in lock
+// step with the benchmark constructors: every file must parse back to a
+// graph with identical serialized form. Regenerate with
+// `go run ./cmd/gen-testdata` after changing a benchmark.
+func TestCorpusMatchesBuilders(t *testing.T) {
+	for name, build := range workloads.All() {
+		path := filepath.Join("testdata", name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v (regenerate with go run ./cmd/gen-testdata)", name, err)
+			continue
+		}
+		want, err := build().MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		if !bytes.Equal(data, want) {
+			t.Errorf("%s: corpus file out of date (regenerate with go run ./cmd/gen-testdata)", name)
+		}
+		g, err := cdfg.ParseJSON(data)
+		if err != nil {
+			t.Errorf("%s: corpus does not parse: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: parsed corpus invalid: %v", name, err)
+		}
+	}
+}
+
+// TestCorpusBehaviouralEquivalence checks parsed corpus graphs compute
+// exactly what the builders compute.
+func TestCorpusBehaviouralEquivalence(t *testing.T) {
+	for name, build := range workloads.All() {
+		data, err := os.ReadFile(filepath.Join("testdata", name+".json"))
+		if err != nil {
+			t.Skip("corpus missing; run go run ./cmd/gen-testdata")
+		}
+		g1 := build()
+		g2, err := cdfg.ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		env := cdfg.Env{}
+		for i := range g1.Nodes {
+			switch g1.Nodes[i].Op {
+			case cdfg.Input, cdfg.State:
+				env[g1.Nodes[i].Name] = int64(3*i + 1)
+			}
+		}
+		r1, err := g1.Eval(env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r2, err := g2.Eval(env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for k, v := range r1.Outputs {
+			if r2.Outputs[k] != v {
+				t.Errorf("%s: output %s differs: %d vs %d", name, k, v, r2.Outputs[k])
+			}
+		}
+		for k, v := range r1.NextState {
+			if r2.NextState[k] != v {
+				t.Errorf("%s: state %s differs", name, k)
+			}
+		}
+	}
+}
