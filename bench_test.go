@@ -12,6 +12,8 @@
 package salsa_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"salsa"
@@ -20,6 +22,7 @@ import (
 	"salsa/internal/core"
 	"salsa/internal/datapath"
 	"salsa/internal/dpsim"
+	"salsa/internal/engine"
 	"salsa/internal/experiments"
 	"salsa/internal/lifetime"
 	"salsa/internal/match"
@@ -345,6 +348,54 @@ func benchScale(b *testing.B, nOps int) {
 func BenchmarkScale_Synth50(b *testing.B)  { benchScale(b, 50) }
 func BenchmarkScale_Synth100(b *testing.B) { benchScale(b, 100) }
 func BenchmarkScale_Synth200(b *testing.B) { benchScale(b, 200) }
+
+// benchAllocateParallel runs an 8-restart portfolio through the engine
+// with the given worker count; the allocation result is identical for
+// every worker count, so the families differ only in wall clock.
+func benchAllocateParallel(b *testing.B, g func() *cdfg.Graph, steps, workers int) {
+	b.Helper()
+	graph := g()
+	d := cdfg.DefaultDelays(false)
+	a, lim, err := lifetime.MinFUAnalysis(graph, d, steps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var inputs []string
+	for i := range graph.Nodes {
+		if graph.Nodes[i].Op == cdfg.Input {
+			inputs = append(inputs, graph.Nodes[i].Name)
+		}
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+1, inputs, true)
+	o := core.SALSAOptions(1)
+	o.MovesPerTrial = 600
+	o.MaxTrials = 8
+	jobs := engine.Restarts(o, 8)
+	b.ResetTimer()
+	var merged float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := engine.Run(context.Background(), a, hw, jobs, engine.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged = float64(res.MergedMux)
+	}
+	b.ReportMetric(merged, "muxes")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+func BenchmarkAllocateParallel_EWF_W1(b *testing.B) {
+	benchAllocateParallel(b, workloads.EWF, 19, 1)
+}
+func BenchmarkAllocateParallel_EWF_WNumCPU(b *testing.B) {
+	benchAllocateParallel(b, workloads.EWF, 19, runtime.NumCPU())
+}
+func BenchmarkAllocateParallel_DCT_W1(b *testing.B) {
+	benchAllocateParallel(b, workloads.DCT, 12, 1)
+}
+func BenchmarkAllocateParallel_DCT_WNumCPU(b *testing.B) {
+	benchAllocateParallel(b, workloads.DCT, 12, runtime.NumCPU())
+}
 
 // BenchmarkHungarian measures the matching core on a 40x40 instance.
 func BenchmarkHungarian40(b *testing.B) {

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -20,6 +22,7 @@ import (
 	"salsa/internal/core"
 	"salsa/internal/datapath"
 	"salsa/internal/dpsim"
+	"salsa/internal/engine"
 	"salsa/internal/library"
 	"salsa/internal/lifetime"
 	"salsa/internal/place"
@@ -38,6 +41,8 @@ func main() {
 		extraRegs = flag.Int("extra-regs", 0, "registers beyond the minimum")
 		seed      = flag.Int64("seed", 1, "random seed for the iterative improvement search")
 		restarts  = flag.Int("restarts", 3, "independent search restarts (best kept)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel search workers (results are identical for any count)")
+		timeout   = flag.Duration("timeout", 0, "search deadline, e.g. 30s (0 = none; on expiry the best allocation so far is kept)")
 		mode      = flag.String("mode", "salsa", "binding model: salsa, traditional, matching, or both")
 		scheduler = flag.String("scheduler", "list", "scheduler: list (resource-constrained) or fds (force-directed)")
 		verify    = flag.Bool("verify", true, "cross-check the allocation by cycle-accurate simulation")
@@ -113,8 +118,19 @@ func main() {
 	}
 	hw := datapath.NewHardware(lim, a.MinRegs+*extraRegs, inputs, true)
 
-	runMode := func(name string, opts core.Options) *core.Result {
-		res, err := core.AllocateBest(a, hw, opts, *restarts)
+	engCfg := engine.Config{Workers: *workers, Timeout: *timeout}
+	if *verbose {
+		engCfg.Events = func(ev engine.Event) {
+			if ev.Kind == engine.EventImproved {
+				fmt.Println("   " + ev.String())
+			}
+		}
+	}
+
+	// runJobs fans the portfolio over the engine's worker pool; the
+	// winner is deterministic for any -workers value.
+	runJobs := func(name string, jobs []engine.Job) *core.Result {
+		res, stats, err := engine.Run(context.Background(), a, hw, jobs, engCfg)
 		if err != nil {
 			fmt.Printf("%-12s infeasible: %v\n", name+":", err)
 			return nil
@@ -122,6 +138,27 @@ func main() {
 		fmt.Printf("%-12s %2d muxes (%2d merged), %2d registers, %d FUs; %d/%d moves accepted; init %d -> final %d\n",
 			name+":", res.Cost.MuxCost, res.MergedMux, res.Cost.RegsUsed, res.Cost.FUsUsed,
 			res.MovesAccepted, res.MovesTried, res.InitialCost.Total, res.Cost.Total)
+		if *verbose {
+			for _, jr := range stats.PerJob {
+				switch {
+				case jr.Err != nil:
+					fmt.Printf("%-12s   %-16s failed: %v\n", "", jr.Label, jr.Err)
+				default:
+					note := ""
+					if jr.Pruned {
+						note = " (pruned)"
+					} else if jr.Cancelled {
+						note = " (cancelled)"
+					}
+					fmt.Printf("%-12s   %-16s best %3d (%2d merged) after %d trials%s\n",
+						"", jr.Label, jr.Cost.Total, jr.Merged, jr.Trials, note)
+				}
+			}
+			fmt.Printf("%-12s %s\n", "", stats)
+			if stats.BestJob >= 0 {
+				fmt.Printf("%-12s winner: job %d (%s)\n", "", stats.BestJob, stats.PerJob[stats.BestJob].Label)
+			}
+		}
 		if len(res.Binding.Pass) > 0 || res.Binding.NumCopies() > 0 {
 			fmt.Printf("%-12s %d pass-throughs, %d value copies\n", "", len(res.Binding.Pass), res.Binding.NumCopies())
 		}
@@ -129,6 +166,9 @@ func main() {
 		fmt.Printf("%-12s bus-style alternative: %d buses, %d sink muxes, %d drivers\n",
 			"", ba.Buses, ba.MuxCost, ba.Drivers)
 		return res
+	}
+	runMode := func(name string, opts core.Options) *core.Result {
+		return runJobs(name, engine.Restarts(opts, *restarts))
 	}
 
 	var final *core.Result
@@ -147,16 +187,13 @@ func main() {
 		final = res
 	case "both":
 		trad := runMode("traditional", core.TraditionalOptions(*seed))
-		final = runMode("salsa", core.SALSAOptions(*seed))
-		if trad != nil && final != nil {
+		jobs := engine.Restarts(core.SALSAOptions(*seed), *restarts)
+		if trad != nil {
 			warm := core.SALSAOptions(*seed)
 			warm.Initial = trad.Binding
-			if w, err := core.Allocate(a, hw, warm); err == nil && w.Cost.Total < final.Cost.Total {
-				final = w
-				fmt.Printf("%-12s warm start from traditional improved to %d muxes (%d merged)\n",
-					"salsa:", w.Cost.MuxCost, w.MergedMux)
-			}
+			jobs = append(jobs, engine.Job{Label: "warm-start", Opts: warm})
 		}
+		final = runJobs("salsa", jobs)
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}

@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		table = flag.String("table", "all", "which table: 2, 3, ablation, sched, baselines, figures, all")
-		full  = flag.Bool("full", false, "full search effort (slower, better allocations)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		table   = flag.String("table", "all", "which table: 2, 3, ablation, sched, baselines, figures, all")
+		full    = flag.Bool("full", false, "full search effort (slower, better allocations)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallel search workers (0 = all CPUs; results are identical for any count)")
 	)
 	flag.Parse()
 
@@ -29,6 +30,7 @@ func main() {
 	if *full {
 		cfg = experiments.Full(*seed)
 	}
+	cfg.Workers = *workers
 
 	run := func(name string, f func() error) {
 		t0 := time.Now()

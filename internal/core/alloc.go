@@ -53,6 +53,10 @@ type Options struct {
 	Anneal bool
 	// AnnealT0 is the initial temperature when Anneal is set.
 	AnnealT0 float64
+	// AnnealCool is the geometric cooling factor applied to the
+	// temperature after each trial when Anneal is set. It must lie in
+	// (0, 1); the zero value selects DefaultAnnealCool.
+	AnnealCool float64
 
 	// Paranoid re-validates the binding after every accepted move
 	// (tests only; slows allocation down).
@@ -65,6 +69,10 @@ type Options struct {
 	// extended result never loses to the baseline it started from.
 	Initial *binding.Binding
 }
+
+// DefaultAnnealCool is the geometric cooling factor used when
+// Options.AnnealCool is left zero.
+const DefaultAnnealCool = 0.85
 
 // SALSAOptions returns the full extended-binding-model configuration.
 func SALSAOptions(seed int64) Options {
@@ -79,6 +87,7 @@ func SALSAOptions(seed int64) Options {
 		EnablePass:     true,
 		EnableSplit:    true,
 		AnnealT0:       8,
+		AnnealCool:     DefaultAnnealCool,
 	}
 }
 
@@ -108,13 +117,39 @@ type Result struct {
 	MovesTried    int
 	MovesAccepted int
 	InitialCost   binding.Cost
+
+	// Stop records why the search ended: natural termination, context
+	// cancellation, or incumbent pruning (see Control).
+	Stop StopReason
 }
 
 // Allocate runs the full flow: constructive initial allocation followed
 // by iterative improvement, returning the best allocation found.
 func Allocate(a *lifetime.Analysis, hw *datapath.Hardware, opts Options) (*Result, error) {
+	return AllocateControlled(a, hw, opts, nil)
+}
+
+// AllocateControlled is Allocate with runtime hooks: cancellation via
+// ctl.Ctx (the best-so-far allocation is returned, not discarded) and
+// the trial-boundary callback portfolio engines use for incumbent
+// pruning and progress telemetry. A nil ctl behaves exactly like
+// Allocate.
+func AllocateControlled(a *lifetime.Analysis, hw *datapath.Hardware, opts Options, ctl *Control) (*Result, error) {
 	if opts.MaxTrials == 0 {
 		opts = withDefaults(opts)
+	}
+	if opts.AnnealCool == 0 {
+		opts.AnnealCool = DefaultAnnealCool
+	}
+	if opts.AnnealCool <= 0 || opts.AnnealCool >= 1 {
+		return nil, fmt.Errorf("core: AnnealCool %v outside (0, 1)", opts.AnnealCool)
+	}
+	if ctx := ctl.ctx(); ctx != nil {
+		// Cancelled before any legal allocation exists: nothing to
+		// return under anytime semantics.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: allocation not started: %w", err)
+		}
 	}
 	var b *binding.Binding
 	if opts.Initial != nil {
@@ -133,7 +168,7 @@ func Allocate(a *lifetime.Analysis, hw *datapath.Hardware, opts Options) (*Resul
 	if err != nil {
 		return nil, fmt.Errorf("core: initial allocation unevaluable: %w", err)
 	}
-	res, err := improve(b, initCost, opts)
+	res, err := improve(b, initCost, opts, ctl)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +222,12 @@ func withDefaults(o Options) Options {
 	d.Anneal = o.Anneal
 	d.Paranoid = o.Paranoid
 	d.Initial = o.Initial
+	if o.AnnealT0 != 0 {
+		d.AnnealT0 = o.AnnealT0
+	}
+	if o.AnnealCool != 0 {
+		d.AnnealCool = o.AnnealCool
+	}
 	return d
 }
 

@@ -7,6 +7,12 @@ import (
 	"salsa/internal/binding"
 )
 
+// cancelCheckStride is how many moves pass between context polls; a
+// move costs a full clone + evaluation, so checking every few moves
+// keeps cancellation latency in the microseconds without measurable
+// overhead on the hot path.
+const cancelCheckStride = 32
+
 // improve runs the paper's iterative improvement scheme (§4): several
 // trials, each attempting a fixed number of random moves; cost-
 // decreasing moves are always kept, a fixed quota of cost-increasing
@@ -16,30 +22,35 @@ import (
 // stops after StallTrials successive trials without improvement.
 //
 // With opts.Anneal the acceptance rule switches to simulated annealing
-// (Metropolis criterion with geometric cooling across trials) — the
-// approach the paper reports as inferior; it is retained as an ablation.
-func improve(b *binding.Binding, initCost binding.Cost, opts Options) (*Result, error) {
+// (Metropolis criterion with geometric cooling by opts.AnnealCool
+// across trials) — the approach the paper reports as inferior; it is
+// retained as an ablation.
+//
+// ctl supplies anytime semantics: context cancellation is polled
+// between moves and the TrialEnd hook may stop the search at any trial
+// boundary; in both cases the best-so-far allocation is polished and
+// returned rather than discarded.
+func improve(b *binding.Binding, initCost binding.Cost, opts Options, ctl *Control) (*Result, error) {
 	rng := newRNG(opts.Seed)
 	mv := newMover(b, opts, rng)
+	ctx := ctl.ctx()
 
 	cur := b
 	curCost := initCost
 	best := b.Clone()
 	bestCost := initCost
-	bestIC, _, err := best.Eval()
-	if err != nil {
-		return nil, err
-	}
 
-	res := &Result{}
+	stop := StopNatural
+	trials, tried, accepted := 0, 0, 0
 	stall := 0
 	temp := opts.AnnealT0
 	maxUp := opts.MaxUphillDelta
 	if maxUp <= 0 {
 		maxUp = opts.Cfg.Wmux + 2
 	}
+search:
 	for trial := 0; trial < opts.MaxTrials; trial++ {
-		res.Trials++
+		trials++
 		if trial > 0 {
 			// Each trial restarts its walk from the best allocation so
 			// the uphill quota explores around it instead of drifting.
@@ -49,12 +60,16 @@ func improve(b *binding.Binding, initCost binding.Cost, opts Options) (*Result, 
 		uphillLeft := opts.UphillQuota
 		improved := false
 		for i := 0; i < opts.MovesPerTrial; i++ {
-			res.MovesTried++
+			if ctx != nil && i%cancelCheckStride == 0 && ctx.Err() != nil {
+				stop = StopCancelled
+				break search
+			}
+			tried++
 			cand := cur.Clone()
 			if !mv.apply(cand, mv.pickKind()) {
 				continue
 			}
-			ic, cost, err := cand.Eval()
+			_, cost, err := cand.Eval()
 			if err != nil {
 				// A move produced an unevaluable binding: a bug, not a
 				// search dead end.
@@ -79,18 +94,21 @@ func improve(b *binding.Binding, initCost binding.Cost, opts Options) (*Result, 
 					return nil, fmt.Errorf("core: accepted illegal binding: %w", err)
 				}
 			}
-			res.MovesAccepted++
+			accepted++
 			cur = cand
 			curCost = cost
 			if cost.Total < bestCost.Total {
 				best = cand.Clone()
 				bestCost = cost
-				bestIC = ic
 				improved = true
 			}
 		}
 		if opts.Anneal {
-			temp *= 0.85
+			temp *= opts.AnnealCool
+		}
+		if ctl.trialEnd(trial, best, bestCost, improved, tried, accepted) {
+			stop = StopPruned
+			break
 		}
 		if improved {
 			stall = 0
@@ -102,17 +120,43 @@ func improve(b *binding.Binding, initCost binding.Cost, opts Options) (*Result, 
 		}
 	}
 
-	// Deterministic downhill polish over the systematic single-move
-	// neighborhood, then report with the merged multiplexer count.
-	best, bestCost, bestIC = polish(best, bestCost, opts)
+	res, err := Finalize(best, bestCost, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Trials = trials
+	res.MovesTried = tried
+	res.MovesAccepted = accepted
+	res.Stop = stop
+	return res, nil
+}
+
+// Finalize applies the deterministic downhill polish over the
+// systematic single-move neighborhood to a best-so-far binding and
+// packages it as a Result with the merged multiplexer count — exactly
+// the tail every search run ends with. It is exported so that a
+// portfolio reduction can rebuild the canonical result of a search
+// truncated at a trial boundary (see internal/engine) and obtain the
+// same bytes a live truncation at that boundary would have produced.
+func Finalize(best *binding.Binding, bestCost binding.Cost, opts Options) (*Result, error) {
+	best, bestCost, bestIC := polish(best, bestCost, opts)
+	if bestIC == nil {
+		// polish leaves the IC nil only when the input binding did not
+		// evaluate, which a legal search state never hits.
+		var err error
+		if bestIC, bestCost, err = best.Eval(); err != nil {
+			return nil, fmt.Errorf("core: finalize: %w", err)
+		}
+	}
 	if opts.Paranoid {
 		if err := best.Check(); err != nil {
 			return nil, fmt.Errorf("core: polish produced illegal binding: %w", err)
 		}
 	}
-	res.Binding = best
-	res.Cost = bestCost
-	res.IC = bestIC
-	res.MergedMux = bestIC.MergedMuxCost()
-	return res, nil
+	return &Result{
+		Binding:   best,
+		Cost:      bestCost,
+		IC:        bestIC,
+		MergedMux: bestIC.MergedMuxCost(),
+	}, nil
 }

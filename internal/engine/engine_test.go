@@ -1,0 +1,350 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/core"
+	"salsa/internal/datapath"
+	"salsa/internal/engine"
+	"salsa/internal/lifetime"
+	"salsa/internal/workloads"
+)
+
+// setup schedules a benchmark at cp+extraSteps and builds hardware
+// with minRegs+extraRegs registers (mirrors internal/core's test
+// helper).
+func setup(t testing.TB, g *cdfg.Graph, extraSteps, extraRegs int) (*lifetime.Analysis, *datapath.Hardware) {
+	t.Helper()
+	d := cdfg.DefaultDelays(false)
+	a, lim, err := lifetime.MinFUAnalysis(g, d, g.CriticalPath(d)+extraSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []string
+	for i := range g.Nodes {
+		if g.Nodes[i].Op == cdfg.Input {
+			inputs = append(inputs, g.Nodes[i].Name)
+		}
+	}
+	hw := datapath.NewHardware(lim, a.MinRegs+extraRegs, inputs, true)
+	return a, hw
+}
+
+func quickOpts(seed int64) core.Options {
+	o := core.SALSAOptions(seed)
+	o.MovesPerTrial = 250
+	o.MaxTrials = 8
+	return o
+}
+
+// fingerprint renders the complete allocation state so byte-identity
+// across runs can be asserted. Map-backed parts are emitted in sorted
+// key order.
+func fingerprint(b *binding.Binding) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fu=%v swap=%v seg=%v", b.OpFU, b.OpSwap, b.SegReg)
+	copies := make([]string, 0, len(b.Copies))
+	for k, regs := range b.Copies {
+		rs := append([]int(nil), regs...)
+		sort.Ints(rs)
+		copies = append(copies, fmt.Sprintf("%d.%d:%v", k.V, k.K, rs))
+	}
+	sort.Strings(copies)
+	passes := make([]string, 0, len(b.Pass))
+	for k, f := range b.Pass {
+		passes = append(passes, fmt.Sprintf("%d.%d.%d->%d", k.V, k.K, k.ToReg, f))
+	}
+	sort.Strings(passes)
+	fmt.Fprintf(&sb, " copies=%v pass=%v", copies, passes)
+	return sb.String()
+}
+
+// mixedPortfolio builds the documented portfolio shape: SALSA cold
+// restarts, the traditional model, and the annealing ablation.
+func mixedPortfolio(seed int64, restarts int) []engine.Job {
+	so := quickOpts(seed)
+	to := quickOpts(seed)
+	to.EnableSegments = false
+	to.EnablePass = false
+	to.EnableSplit = false
+	ao := quickOpts(seed)
+	ao.Anneal = true
+	return engine.Portfolio([]engine.Variant{
+		{Name: "salsa", Opts: so},
+		{Name: "traditional", Opts: to},
+		{Name: "anneal", Opts: ao},
+	}, restarts)
+}
+
+// TestDeterministicAcrossWorkers is the engine's central contract: the
+// winner and every canonical per-job result are byte-identical for any
+// worker count.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	// Two portfolio shapes: a mixed variant portfolio on FIR8, and a
+	// wide restart portfolio on Tseng where incumbent pruning actually
+	// fires (so the canonical-truncation path is compared against the
+	// live-pruning path, not just natural termination).
+	fa, fhw := setup(t, workloads.FIR8(), 2, 2)
+	ta, thw := setup(t, workloads.Tseng(), 2, 1)
+	wide := quickOpts(3)
+	wide.MovesPerTrial = 120
+	wide.MaxTrials = 6
+	cases := []struct {
+		name string
+		a    *lifetime.Analysis
+		hw   *datapath.Hardware
+		jobs []engine.Job
+	}{
+		{"mixed-fir8", fa, fhw, mixedPortfolio(7, 2)},
+		{"wide-tseng", ta, thw, engine.Restarts(wide, 16)},
+	}
+	for _, tc := range cases {
+		type snap struct {
+			fp     string
+			cost   binding.Cost
+			merged int
+			pruned int
+			stats  []engine.JobResult
+		}
+		var base *snap
+		for _, workers := range []int{1, 2, 8} {
+			res, st, err := engine.Run(context.Background(), tc.a, tc.hw, tc.jobs, engine.Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if err := res.Binding.Check(); err != nil {
+				t.Fatalf("%s workers=%d: winner illegal: %v", tc.name, workers, err)
+			}
+			s := &snap{fp: fingerprint(res.Binding), cost: res.Cost, merged: res.MergedMux, pruned: st.Pruned, stats: st.PerJob}
+			if base == nil {
+				base = s
+				t.Logf("%s winner: job %d, cost %d, %d merged muxes, %d/%d jobs pruned",
+					tc.name, st.BestJob, res.Cost.Total, res.MergedMux, st.Pruned, st.Jobs)
+				continue
+			}
+			if s.cost != base.cost || s.merged != base.merged {
+				t.Errorf("%s workers=%d: cost %v/%d differs from workers=1 %v/%d",
+					tc.name, workers, s.cost, s.merged, base.cost, base.merged)
+			}
+			if s.fp != base.fp {
+				t.Errorf("%s workers=%d: winner binding differs from workers=1", tc.name, workers)
+			}
+			if s.pruned != base.pruned {
+				t.Errorf("%s workers=%d: pruned count %d differs from workers=1 %d",
+					tc.name, workers, s.pruned, base.pruned)
+			}
+			for i := range s.stats {
+				got, want := s.stats[i], base.stats[i]
+				got.Duration, want.Duration = 0, 0
+				if got != want {
+					t.Errorf("%s workers=%d: job %d canonical result differs:\n got %+v\nwant %+v",
+						tc.name, workers, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchesAllocateBest: with pruning disabled, the engine's multi-
+// start portfolio reduces to exactly core.AllocateBest's answer — the
+// sequential path is the degenerate case, not a separate code path.
+func TestMatchesAllocateBest(t *testing.T) {
+	a, hw := setup(t, workloads.Tseng(), 2, 1)
+	o := quickOpts(11)
+	want, err := core.AllocateBest(a, hw, o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, _, err := engine.Run(context.Background(), a, hw, engine.Restarts(o, 3),
+			engine.Config{Workers: workers, DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.MergedMux != want.MergedMux {
+			t.Errorf("workers=%d: engine %v/%d != AllocateBest %v/%d",
+				workers, got.Cost, got.MergedMux, want.Cost, want.MergedMux)
+		}
+		if fingerprint(got.Binding) != fingerprint(want.Binding) {
+			t.Errorf("workers=%d: engine binding differs from AllocateBest", workers)
+		}
+	}
+}
+
+// TestCancellationReturnsLegalBestSoFar cancels mid-search (after the
+// first incumbent improvement) and checks the anytime contract: a
+// legal allocation comes back quickly.
+func TestCancellationReturnsLegalBestSoFar(t *testing.T) {
+	a, hw := setup(t, workloads.EWF(), 2, 1)
+	o := core.SALSAOptions(1)
+	o.MovesPerTrial = 2000
+	o.MaxTrials = 10000
+	o.StallTrials = 10000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	cfg := engine.Config{
+		Workers: 4,
+		Events: func(ev engine.Event) {
+			if ev.Kind == engine.EventImproved {
+				once.Do(cancel)
+			}
+		},
+	}
+	t0 := time.Now()
+	res, st, err := engine.Run(ctx, a, hw, engine.Restarts(o, 4), cfg)
+	if err != nil {
+		t.Fatalf("cancelled run failed outright: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %s to take effect", elapsed)
+	}
+	if err := res.Binding.Check(); err != nil {
+		t.Errorf("best-so-far binding illegal after cancellation: %v", err)
+	}
+	if st.Cancelled == 0 {
+		t.Errorf("no job recorded as cancelled: %+v", st)
+	}
+	t.Logf("cancelled after %s: cost %d, %d merged muxes, %d jobs cancelled",
+		st.Wall.Round(time.Millisecond), res.Cost.Total, res.MergedMux, st.Cancelled)
+}
+
+// TestDeadline exercises Config.Timeout: a run with an absurd budget
+// still returns an allocation within the deadline's order of
+// magnitude.
+func TestDeadline(t *testing.T) {
+	a, hw := setup(t, workloads.EWF(), 2, 1)
+	o := core.SALSAOptions(2)
+	o.MovesPerTrial = 50000
+	o.MaxTrials = 10000
+	o.StallTrials = 10000
+	t0 := time.Now()
+	res, st, err := engine.Run(context.Background(), a, hw, engine.Restarts(o, 2),
+		engine.Config{Workers: 2, Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("deadline run failed outright: %v", err)
+	}
+	if err := res.Binding.Check(); err != nil {
+		t.Errorf("deadline result illegal: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 30*time.Second {
+		t.Errorf("timeout ignored: ran %s", elapsed)
+	}
+	if st.Cancelled == 0 {
+		t.Errorf("deadline hit but no job cancelled: %+v", st)
+	}
+}
+
+// TestIncumbentStress hammers the shared-incumbent exchange: many
+// small jobs, more workers than cores, live telemetry on — run under
+// -race in CI. The result must still be deterministic against a
+// second identical run.
+func TestIncumbentStress(t *testing.T) {
+	a, hw := setup(t, workloads.Tseng(), 2, 1)
+	o := quickOpts(3)
+	o.MovesPerTrial = 120
+	o.MaxTrials = 6
+	jobs := engine.Restarts(o, 16)
+
+	var improvements, finished atomic.Int64
+	run := func() (*core.Result, *engine.Stats) {
+		res, st, err := engine.Run(context.Background(), a, hw, jobs, engine.Config{
+			Workers: 8,
+			Events: func(ev engine.Event) {
+				switch ev.Kind {
+				case engine.EventImproved:
+					improvements.Add(1)
+				case engine.EventJobFinished:
+					finished.Add(1)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+	r1, st1 := run()
+	r2, st2 := run()
+	if finished.Load() != int64(2*len(jobs)) {
+		t.Errorf("finished events = %d, want %d", finished.Load(), 2*len(jobs))
+	}
+	if improvements.Load() == 0 {
+		t.Error("no incumbent-improvement events at all")
+	}
+	if err := r1.Binding.Check(); err != nil {
+		t.Fatalf("stress winner illegal: %v", err)
+	}
+	if fingerprint(r1.Binding) != fingerprint(r2.Binding) || r1.Cost != r2.Cost {
+		t.Error("stress run not reproducible")
+	}
+	if st1.BestJob != st2.BestJob {
+		t.Errorf("winner index differs across identical runs: %d vs %d", st1.BestJob, st2.BestJob)
+	}
+	t.Logf("stress: %d jobs, %d pruned, best job %d cost %d", st1.Jobs, st1.Pruned, st1.BestJob, r1.Cost.Total)
+}
+
+// TestPortfolioLabelsAndOrder checks the portfolio constructors'
+// labelling and tie-break ordering contract.
+func TestPortfolioLabelsAndOrder(t *testing.T) {
+	o := quickOpts(5)
+	jobs := engine.Portfolio([]engine.Variant{{Name: "a", Opts: o}, {Name: "b", Opts: o}}, 2)
+	want := []string{"a/seed=5", "a/seed=6", "b/seed=5", "b/seed=6"}
+	if len(jobs) != len(want) {
+		t.Fatalf("got %d jobs, want %d", len(jobs), len(want))
+	}
+	for i, j := range jobs {
+		if j.Label != want[i] {
+			t.Errorf("job %d label = %q, want %q", i, j.Label, want[i])
+		}
+		if j.Opts.Seed != o.Seed+int64(i%2) {
+			t.Errorf("job %d seed = %d", i, j.Opts.Seed)
+		}
+	}
+}
+
+// TestEmptyPortfolio and infeasible-job accounting.
+func TestEmptyPortfolio(t *testing.T) {
+	a, hw := setup(t, workloads.Tseng(), 2, 1)
+	if _, _, err := engine.Run(context.Background(), a, hw, nil, engine.Config{}); err == nil {
+		t.Error("empty portfolio did not error")
+	}
+}
+
+// TestMixedFeasibility: a portfolio mixing an infeasible traditional
+// job (EWF at minimum registers) with feasible extended jobs must
+// still produce the extended winner and record the failure.
+func TestMixedFeasibility(t *testing.T) {
+	a, hw := setup(t, workloads.EWF(), 2, 0)
+	to := quickOpts(1)
+	to.EnableSegments = false
+	to.EnablePass = false
+	to.EnableSplit = false
+	jobs := engine.Portfolio([]engine.Variant{
+		{Name: "traditional", Opts: to},
+		{Name: "salsa", Opts: quickOpts(1)},
+	}, 1)
+	res, st, err := engine.Run(context.Background(), a, hw, jobs, engine.Config{})
+	if err != nil {
+		t.Fatalf("portfolio with one infeasible member failed: %v", err)
+	}
+	if st.Failed == 0 {
+		t.Skip("traditional unexpectedly feasible at minimum registers")
+	}
+	if st.BestJob != 1 {
+		t.Errorf("winner = job %d, want the extended job (1)", st.BestJob)
+	}
+	if err := res.Binding.Check(); err != nil {
+		t.Errorf("winner illegal: %v", err)
+	}
+}

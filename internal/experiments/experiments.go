@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,6 +16,7 @@ import (
 	"salsa/internal/core"
 	"salsa/internal/datapath"
 	"salsa/internal/dpsim"
+	"salsa/internal/engine"
 	"salsa/internal/lifetime"
 	"salsa/internal/sched"
 	"salsa/internal/vsim"
@@ -68,6 +70,9 @@ type Config struct {
 	// Verify enables the simulation cross-check (on by default in the
 	// full harness; benches may disable it).
 	Verify bool
+	// Workers bounds the portfolio engine's worker pool (0 = GOMAXPROCS).
+	// Results are identical for any value.
+	Workers int
 }
 
 // Quick returns a configuration sized for tests and benches.
@@ -90,6 +95,14 @@ func (c Config) salsaOpts() core.Options {
 		o.MaxTrials = c.MaxTrials
 	}
 	return o
+}
+
+// allocateBest runs the restart portfolio on the parallel engine; the
+// winner is deterministic regardless of Workers.
+func (c Config) allocateBest(a *lifetime.Analysis, hw *datapath.Hardware, opts core.Options) (*core.Result, error) {
+	res, _, err := engine.Run(context.Background(), a, hw,
+		engine.Restarts(opts, c.Restarts), engine.Config{Workers: c.Workers})
+	return res, err
 }
 
 // Point allocates one (graph, steps, pipelined, register-budget) point
@@ -127,7 +140,7 @@ func runPoint(id string, g *cdfg.Graph, steps int, pipelined bool, extraRegs int
 	tOpts.EnableSegments = false
 	tOpts.EnablePass = false
 	tOpts.EnableSplit = false
-	tRes, tErr := core.AllocateBest(a, hw, tOpts, cfg.Restarts)
+	tRes, tErr := cfg.allocateBest(a, hw, tOpts)
 	if tErr == nil {
 		row.TradFeasible = true
 		row.TradMux = tRes.Cost.MuxCost
@@ -139,7 +152,7 @@ func runPoint(id string, g *cdfg.Graph, steps int, pipelined bool, extraRegs int
 	// warm start from it (the extended space contains the traditional
 	// one, so the warm run can only match or improve it).
 	sOpts := cfg.salsaOpts()
-	sRes, err := core.AllocateBest(a, hw, sOpts, cfg.Restarts)
+	sRes, err := cfg.allocateBest(a, hw, sOpts)
 	if err != nil {
 		return Row{}, fmt.Errorf("%s: %w", id, err)
 	}
@@ -314,7 +327,7 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 	tOpts.EnableSegments = false
 	tOpts.EnablePass = false
 	tOpts.EnableSplit = false
-	base, err := core.AllocateBest(a, hw, tOpts, cfg.Restarts)
+	base, err := cfg.allocateBest(a, hw, tOpts)
 	if err != nil {
 		return nil, fmt.Errorf("traditional baseline: %w", err)
 	}
@@ -342,11 +355,11 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 		if err != nil {
 			return rows, fmt.Errorf("%s: %w", v.name, err)
 		}
-		if cold, err2 := core.AllocateBest(a, hw, func() core.Options {
+		if cold, err2 := cfg.allocateBest(a, hw, func() core.Options {
 			c := o
 			c.Initial = nil
 			return c
-		}(), cfg.Restarts); err2 == nil && cold.Cost.Total < res.Cost.Total {
+		}()); err2 == nil && cold.Cost.Total < res.Cost.Total {
 			res = cold
 		}
 		if cfg.Verify {
@@ -423,7 +436,7 @@ func SchedulerStudy(cfg Config) ([]SchedRow, error) {
 				}
 			}
 			hw := datapath.NewHardware(lim, a.MinRegs+1, inputs, true)
-			res, err := core.AllocateBest(a, hw, cfg.salsaOpts(), cfg.Restarts)
+			res, err := cfg.allocateBest(a, hw, cfg.salsaOpts())
 			if err != nil {
 				return rows, fmt.Errorf("%s@%d/%s: %w", p.name, p.steps, which, err)
 			}
@@ -507,11 +520,11 @@ func BaselineStudy(cfg Config) ([]BaselineRow, error) {
 		if err != nil {
 			return rows, fmt.Errorf("%s: salsa: %w", p.name, err)
 		}
-		if cold, err2 := core.AllocateBest(a, hw, func() core.Options {
+		if cold, err2 := cfg.allocateBest(a, hw, func() core.Options {
 			o := sOpts
 			o.Initial = nil
 			return o
-		}(), cfg.Restarts); err2 == nil && cold.MergedMux < sRes.MergedMux {
+		}()); err2 == nil && cold.MergedMux < sRes.MergedMux {
 			sRes = cold
 		}
 		row.Salsa = sRes.MergedMux

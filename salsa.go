@@ -20,6 +20,7 @@
 package salsa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -27,6 +28,7 @@ import (
 	"salsa/internal/core"
 	"salsa/internal/datapath"
 	"salsa/internal/dpsim"
+	"salsa/internal/engine"
 	"salsa/internal/lifetime"
 	"salsa/internal/rtl"
 	"salsa/internal/sched"
@@ -43,7 +45,28 @@ type (
 	Netlist = rtl.Netlist
 	// Env supplies concrete input/state values for simulation.
 	Env = cdfg.Env
+
+	// Job is one entry of a search portfolio (see engine.Job).
+	Job = engine.Job
+	// Variant names an Options configuration for portfolio construction.
+	Variant = engine.Variant
+	// EngineConfig tunes the parallel portfolio engine: worker count,
+	// deadline, incumbent pruning, and the telemetry callback.
+	EngineConfig = engine.Config
+	// Stats reports a portfolio run: per-job canonical results plus
+	// aggregate counts (see engine.Stats).
+	Stats = engine.Stats
+	// Event is one progress-telemetry record (see engine.Event).
+	Event = engine.Event
 )
+
+// Restarts builds the classic multi-start portfolio: n jobs seeded
+// opts.Seed .. opts.Seed+n-1.
+func Restarts(opts Options, n int) []Job { return engine.Restarts(opts, n) }
+
+// Portfolio crosses option variants with derived seeds (see
+// engine.Portfolio).
+func Portfolio(variants []Variant, restarts int) []Job { return engine.Portfolio(variants, restarts) }
 
 // SALSAOptions returns the full extended-binding-model configuration.
 func SALSAOptions(seed int64) Options { return core.SALSAOptions(seed) }
@@ -125,15 +148,28 @@ func (d *Design) Steps() int { return d.Analysis.Sched.Steps }
 // this schedule can use.
 func (d *Design) MinRegisters() int { return d.Analysis.MinRegs }
 
-// Allocate runs the allocator with the given options and number of
-// restarts, returning the best allocation found.
+// Allocate runs the restart portfolio on the parallel engine and
+// returns the best allocation found. The result is deterministic for a
+// given opts/restarts pair, independent of how many workers the engine
+// uses (see AllocatePortfolio for the full engine surface).
 func (d *Design) Allocate(opts Options, restarts int) (*Result, error) {
-	return core.AllocateBest(d.Analysis, d.Hardware, opts, restarts)
+	res, _, err := d.AllocatePortfolio(context.Background(), Restarts(opts, restarts), EngineConfig{})
+	return res, err
 }
 
-// AllocateBoth runs the traditional baseline, then the extended model
-// cold and warm-started from the baseline, and returns both results
-// (the extended result never loses to the baseline).
+// AllocatePortfolio runs an arbitrary job portfolio on the parallel
+// engine: jobs fan out over cfg.Workers goroutines, share an incumbent
+// cost for pruning, and reduce to a deterministic winner. Cancelling
+// ctx (or setting cfg.Timeout) stops the search and returns the best
+// allocation found so far.
+func (d *Design) AllocatePortfolio(ctx context.Context, jobs []Job, cfg EngineConfig) (*Result, *Stats, error) {
+	return engine.Run(ctx, d.Analysis, d.Hardware, jobs, cfg)
+}
+
+// AllocateBoth runs the traditional baseline, then one extended-model
+// portfolio of cold restarts plus (when the baseline exists) a warm
+// start from it, and returns both results (the extended result never
+// loses to the baseline).
 func (d *Design) AllocateBoth(seed int64, restarts int) (salsaRes, tradRes *Result, err error) {
 	// The traditional model can be infeasible at tight register budgets
 	// (whole-lifetime registers color a circular-arc graph, which may
@@ -141,19 +177,18 @@ func (d *Design) AllocateBoth(seed int64, restarts int) (salsaRes, tradRes *Resu
 	// model is not, which is itself one of the paper's points. A nil
 	// tradRes signals infeasibility.
 	tradRes, _ = d.Allocate(TraditionalOptions(seed), restarts)
-	salsaRes, err = d.Allocate(SALSAOptions(seed), restarts)
-	if err != nil {
-		return nil, tradRes, err
-	}
+	jobs := Restarts(SALSAOptions(seed), restarts)
 	if tradRes != nil {
 		warm := SALSAOptions(seed)
 		warm.Initial = tradRes.Binding
-		if w, werr := core.Allocate(d.Analysis, d.Hardware, warm); werr == nil {
-			if w.Cost.Total < salsaRes.Cost.Total ||
-				(w.Cost.Total == salsaRes.Cost.Total && w.MergedMux < salsaRes.MergedMux) {
-				salsaRes = w
-			}
-		}
+		// Appended last: the engine breaks cost ties by lowest job
+		// index, so the warm start only wins by strict improvement,
+		// matching the historical sequential behavior.
+		jobs = append(jobs, Job{Label: "warm-start", Opts: warm})
+	}
+	salsaRes, _, err = d.AllocatePortfolio(context.Background(), jobs, EngineConfig{})
+	if err != nil {
+		return nil, tradRes, err
 	}
 	return salsaRes, tradRes, nil
 }
