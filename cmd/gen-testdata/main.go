@@ -8,6 +8,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"salsa/internal/workloads"
 )
@@ -17,8 +18,14 @@ func main() {
 	if len(os.Args) > 1 {
 		dir = os.Args[1]
 	}
-	for name, build := range workloads.All() {
-		g := build()
+	all := workloads.All()
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := all[name]()
 		data, err := g.MarshalJSON()
 		if err != nil {
 			log.Fatal(err)

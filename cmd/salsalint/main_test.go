@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"salsa/internal/lint"
+)
+
+// fixture resolves a package directory inside the analyzer fixture
+// module (internal/lint/testdata/src).
+func fixture(t *testing.T, pkg string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestFixtureExitCodes drives the real entry point against each
+// analyzer's negative fixture (must exit 1) and a clean package (must
+// exit 0) — the same contract CI relies on.
+func TestFixtureExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		enable string
+		pkg    string
+		want   int
+	}{
+		{"detrand-global", "detrand", "badrand", 1},
+		{"detrand-clock", "detrand", "internal/core", 1},
+		{"maporder", "maporder", "maporder", 1},
+		{"mutguard", "mutguard", "badmut", 1},
+		{"atomicfield", "atomicfield", "atomicfield", 1},
+		{"checkerr", "checkerr", "checkerr", 1},
+		{"clean-package", "", "internal/binding", 0},
+		{"clean-under-other-analyzer", "detrand", "badmut", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := []string{}
+			if c.enable != "" {
+				args = append(args, "-enable", c.enable)
+			}
+			args = append(args, fixture(t, c.pkg))
+			var out, errb bytes.Buffer
+			if got := run(args, &out, &errb); got != c.want {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, c.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-json", "-enable", "mutguard", fixture(t, "badmut")}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", got, errb.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output holds no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "mutguard" {
+			t.Errorf("finding from %s leaked through -enable mutguard", f.Analyzer)
+		}
+	}
+}
+
+func TestListAndBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-list"}, &out, &errb); got != 0 {
+		t.Fatalf("-list exit = %d, want 0", got)
+	}
+	for _, name := range []string{"detrand", "maporder", "mutguard", "atomicfield", "checkerr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output misses analyzer %s", name)
+		}
+	}
+	if got := run([]string{"-enable", "nosuch"}, &out, &errb); got != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", got)
+	}
+	if got := run([]string{"-disable", "detrand,maporder,mutguard,atomicfield,checkerr"}, &out, &errb); got != 2 {
+		t.Fatalf("empty selection exit = %d, want 2", got)
+	}
+}

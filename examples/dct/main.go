@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"salsa"
 	"salsa/internal/cdfg"
@@ -53,8 +54,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for name, want := range ref.Outputs {
-			if out[name] != want {
+		outNames := make([]string, 0, len(ref.Outputs))
+		for name := range ref.Outputs {
+			outNames = append(outNames, name)
+		}
+		sort.Strings(outNames)
+		for _, name := range outNames {
+			if want := ref.Outputs[name]; out[name] != want {
 				log.Fatalf("%d steps: %s = %d, want %d", steps, name, out[name], want)
 			}
 		}

@@ -259,6 +259,7 @@ func (b *Binding) FUOccupancy() (*FUOccupancy, error) {
 		}
 		occ.WriteEdge[f][st+s.Delays.Of(n.Op)-1] = true
 	}
+	//lint:maporder legality is order-free: occupancy writes are keyed and an error fires iff any conflict exists; only the reported pair varies
 	for tk, f := range b.Pass {
 		t := b.transferStep(tk)
 		key := [2]int{f, t}
@@ -314,6 +315,7 @@ func (b *Binding) Check() error {
 			return fmt.Errorf("binding: operand reverse on non-commutative op %s", n.Name)
 		}
 	}
+	//lint:maporder legality is order-free: the verdict (nil vs error) is the same for every visit order; only which violation is reported varies
 	for tk, f := range b.Pass {
 		if err := b.checkTransfer(tk); err != nil {
 			return err

@@ -1,6 +1,72 @@
 package cdfg
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzValidate checks Graph.Validate against structurally corrupted
+// graphs: it must never panic, must judge the same graph the same way
+// twice, and must only accept graphs that marshal and re-parse. Seeds
+// are the real benchmark corpus in testdata/ with every corruption
+// kind applied at index 0.
+func FuzzValidate(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.json"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no seed graphs in testdata/: %v", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for kind := uint8(0); kind < 5; kind++ {
+			f.Add(string(data), uint(0), kind, int64(kind)-2)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data string, idx uint, kind uint8, val int64) {
+		g, err := ParseJSON([]byte(data))
+		if err != nil {
+			return
+		}
+		if len(g.Nodes) == 0 {
+			return
+		}
+		n := &g.Nodes[idx%uint(len(g.Nodes))]
+		switch kind % 5 {
+		case 0:
+			n.ID = NodeID(val)
+		case 1:
+			n.Args = append(n.Args, NodeID(val))
+		case 2:
+			n.Next = NodeID(val)
+		case 3:
+			n.Op = Op(val)
+		case 4:
+			g.Nodes = g.Nodes[:idx%uint(len(g.Nodes))]
+		}
+		err1 := g.Validate()
+		err2 := g.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Validate is nondeterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil && err2 != nil && err1.Error() != err2.Error() {
+			t.Fatalf("Validate reports different violations on the same graph: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return // rejection is fine; panics and flip-flops are not
+		}
+		out, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("Validate accepted a graph that fails to marshal: %v", err)
+		}
+		if _, err := ParseJSON(out); err != nil {
+			t.Fatalf("Validate accepted a graph whose JSON fails to re-parse: %v", err)
+		}
+	})
+}
 
 // FuzzParseJSON checks the CDFG parser never panics and that every
 // graph it accepts validates and round-trips.

@@ -124,6 +124,7 @@ func MatchingAllocate(a *lifetime.Analysis, hw *datapath.Hardware, cfg binding.C
 					}
 					f := fus[fi]
 					op := ops[oi]
+					//lint:mutguard constructive FU assignment; the finished binding is Check-validated before it leaves this function
 					b.OpFU[op] = f
 					n := &g.Nodes[op]
 					for u := t; u < t+s.Delays.IIOf(n.Op); u++ {
@@ -193,6 +194,7 @@ func MatchingAllocate(a *lifetime.Analysis, hw *datapath.Hardware, cfg binding.C
 			vid := vals[vi]
 			v := &a.Values[vid]
 			for k := 0; k < v.Len; k++ {
+				//lint:mutguard constructive register assignment; the finished binding is Check-validated before it leaves this function
 				b.SegReg[vid][k] = r
 				regOcc[r][v.StepAt(k, a.StorageSteps)] = true
 			}

@@ -120,6 +120,7 @@ func (ic *Interconnect) AllocateBuses() *BusAllocation {
 
 	// Bus pressure: per-step distinct transmitting sources.
 	perStep := make(map[int]map[Source]bool)
+	//lint:maporder builds a set-of-sets: lazy bucket init plus keyed set-inserts, identical for every visit order
 	for src, steps := range txSteps {
 		for t := range steps {
 			if perStep[t] == nil {
@@ -128,6 +129,7 @@ func (ic *Interconnect) AllocateBuses() *BusAllocation {
 			perStep[t][src] = true
 		}
 	}
+	//lint:maporder max reduction is commutative
 	for _, set := range perStep {
 		if len(set) > ba.Pressure {
 			ba.Pressure = len(set)

@@ -1,5 +1,7 @@
 package experiments
 
+//lint:mutguard:file this file hand-assembles the paper's Figure 3/4 demonstration bindings field by field; every one is binding.Check-validated before use
+
 import (
 	"fmt"
 

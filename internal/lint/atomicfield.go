@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicfield enforces all-or-nothing atomicity on struct fields: a
+// field passed by address to a sync/atomic operation anywhere in the
+// package must be accessed through sync/atomic everywhere in the
+// package. A single plain load or store of such a field is a data race
+// that the race detector only catches when the interleaving actually
+// happens; the analyzer catches it statically. It guards the engine's
+// shared-incumbent pattern, where one goroutine publishes costs that
+// worker goroutines poll. (Fields of type atomic.Int64 & co are safe by
+// construction and invisible to this analyzer.)
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+}
+
+func init() { Atomicfield.Run = runAtomicfield }
+
+func runAtomicfield(pass *Pass) {
+	// Pass 1: find every field that is the address-argument of a
+	// sync/atomic call, and remember the exact selector nodes used
+	// inside those calls (they are sanctioned).
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(pass, sel); v != nil {
+					atomicFields[v] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: every other access to those fields is a finding.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldVar(pass, sel)
+			if v == nil || !atomicFields[v] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package; this plain access is a data race — use the matching atomic operation",
+				v.Name())
+			return true
+		})
+	}
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

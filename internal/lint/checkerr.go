@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Checkerr flags discarded error results from legality- and
+// validation-style calls: functions or methods named Check, Validate,
+// or Verify* that return an error. Dropping such an error silently
+// accepts an illegal binding, graph or netlist — exactly the class of
+// bug the binding-legality contract exists to prevent. Both bare call
+// statements and explicit blank-assignments of the error are findings;
+// a deliberate discard needs a //lint:checkerr justification.
+var Checkerr = &Analyzer{
+	Name: "checkerr",
+	Doc:  "flags ignored error results from Check/Validate/Verify* calls",
+}
+
+func init() { Checkerr.Run = runCheckerr }
+
+func runCheckerr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				reportDroppedCheck(pass, s.X, "discarded")
+			case *ast.GoStmt:
+				reportDroppedCheck(pass, s.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				reportDroppedCheck(pass, s.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, positions := checkLikeCall(pass, call)
+				if fn == nil {
+					return true
+				}
+				allBlank := true
+				for _, i := range positions {
+					if i < len(s.Lhs) && !blankIdent(s.Lhs[i]) {
+						allBlank = false
+						break
+					}
+				}
+				if allBlank {
+					pass.Reportf(s.Pos(),
+						"error from %s assigned to _; handle it or justify with //lint:checkerr <reason>",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportDroppedCheck(pass *Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn, _ := checkLikeCall(pass, call); fn != nil {
+		pass.Reportf(call.Pos(),
+			"error from %s %s; handle it or justify with //lint:checkerr <reason>",
+			fn.Name(), how)
+	}
+}
+
+// checkLikeCall reports whether the call invokes a Check/Validate/
+// Verify* function returning at least one error, and at which result
+// positions the errors sit.
+func checkLikeCall(pass *Pass, call *ast.CallExpr) (*types.Func, []int) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return nil, nil
+	}
+	name := fn.Name()
+	if name != "Check" && name != "Validate" && !strings.HasPrefix(name, "Verify") {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	var positions []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return nil, nil
+	}
+	return fn, positions
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

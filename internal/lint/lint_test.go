@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"salsa/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"fix/internal/binding", "internal/binding", true},
+		{"salsa/internal/corefoo", "internal/core", false},
+		{"salsa/xinternal/core", "internal/core", false},
+		{"salsa/internal/core/sub", "internal/core", false},
+	}
+	for _, c := range cases {
+		if got := pathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("pathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveIndex(t *testing.T) {
+	const src = `package p
+
+//lint:maporder keys are sorted upstream
+var a int
+
+var b int //lint:checkerr cannot fail here
+
+//lint:mutguard:file demo bindings, Check-validated
+
+//lint:detrand
+var c int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := indexDirectives(fset, []*ast.File{f})
+
+	if !idx.suppresses("maporder", "p.go", 3) || !idx.suppresses("maporder", "p.go", 4) {
+		t.Error("line directive must cover its own line and the next")
+	}
+	if idx.suppresses("maporder", "p.go", 5) {
+		t.Error("line directive must not cover two lines down")
+	}
+	if !idx.suppresses("checkerr", "p.go", 6) {
+		t.Error("trailing directive must cover its line")
+	}
+	if !idx.suppresses("mutguard", "p.go", 1) || !idx.suppresses("mutguard", "p.go", 999) {
+		t.Error("file-scope directive must cover the whole file")
+	}
+	if idx.suppresses("detrand", "p.go", 10) || idx.suppresses("detrand", "p.go", 11) {
+		t.Error("a directive without justification text must be ignored")
+	}
+	if idx.suppresses("maporder", "other.go", 3) {
+		t.Error("directives must be file-scoped")
+	}
+}

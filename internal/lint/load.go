@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked module package ready for
+// analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding the package's sources.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the package's non-test source files, parsed with
+	// comments.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of a single Go module using
+// only the standard library: module-local imports resolve to
+// directories under the module root, everything else (the standard
+// library) is type-checked from $GOROOT source via go/importer.
+type Loader struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+
+	fset   *token.FileSet
+	stdlib types.Importer
+	cache  map[string]*Package
+}
+
+// NewLoader builds a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   abs,
+		Module: modPath,
+		fset:   fset,
+		stdlib: importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*Package),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// a go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	m := moduleRE.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module directive in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// Load resolves the given patterns to module packages and returns them
+// parsed and type-checked, sorted by import path. A pattern is a
+// directory relative to dir (or absolute), optionally ending in "/..."
+// to include every package below it. Directories named testdata,
+// vendor, or starting with "." or "_" are skipped during recursive
+// expansion (an explicitly named directory is always loaded).
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		base = filepath.Clean(base)
+		if st, err := os.Stat(base); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: not a directory: %s", pat, base)
+		}
+		if !recursive {
+			addDir(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != base && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, d := range dirs {
+		path, err := l.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.importModulePkg(path, d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "node_modules" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: directory %s outside module root %s", dir, l.Root)
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer over the module + standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")))
+		pkg, err := l.importModulePkg(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// importModulePkg parses and type-checks one module package, memoized.
+func (l *Loader) importModulePkg(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no buildable Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	//lint:checkerr type errors are collected through conf.Error above; the returned error only duplicates the first of them
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: %s: type checking failed: %w", path, typeErrs[0])
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}

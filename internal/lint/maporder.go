@@ -1,0 +1,552 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags order-sensitive iteration over Go maps. Go randomizes
+// map iteration order on every run, so any map range whose body has
+// effects that depend on visit order (appending to an outer slice,
+// writing non-keyed outer state, returning early with a value built
+// from the element, emitting output, ...) is a reproducibility bug: the
+// same inputs can produce different allocations, costs, or reports
+// between runs.
+//
+// A loop is accepted when every effect in its body is provably
+// order-insensitive:
+//
+//   - writes to variables declared inside the loop body;
+//   - writes indexed by the loop's key variable (each iteration touches
+//     a distinct element) and delete(m, key);
+//   - integer accumulation (x += e, x++, x--) — integer addition is
+//     commutative; float accumulation is NOT exempt;
+//   - stores of a single consistent constant (set-inserts like
+//     seen[x] = true, monotone flags like ok = false);
+//   - appends to an outer slice that is sorted by a later statement in
+//     the same block (the collect-then-sort idiom);
+//   - early exits (break, or return of one consistent constant tuple)
+//     when the only other effect is at most one monotone scalar flag —
+//     the existential-search idiom. An early exit next to any other
+//     effect makes the processed subset arbitrary and is flagged.
+//
+// Function-literal bodies inside the loop are not inspected. Anything
+// flagged needs the keys sorted first, or a
+// //lint:maporder <justification> comment at the site.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags order-sensitive iteration over maps (Go randomizes map order per run)",
+}
+
+func init() { Maporder.Run = runMaporder }
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkStmtLists(fd.Body, func(list []ast.Stmt) {
+				for i, stmt := range list {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					checkMapRange(pass, rs, list[i+1:])
+				}
+			})
+		}
+	}
+}
+
+// walkStmtLists invokes fn on every statement list nested in body, so
+// a range statement is always seen together with its trailing
+// statements (needed for the collect-then-sort exemption).
+func walkStmtLists(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			fn(b.List)
+		case *ast.CaseClause:
+			fn(b.Body)
+		case *ast.CommClause:
+			fn(b.Body)
+		}
+		return true
+	})
+}
+
+// opKind classifies one effect found in a loop body.
+type opKind int
+
+const (
+	opOther      opKind = iota // unconditionally order-sensitive
+	opKeyed                    // write/delete indexed by the loop key
+	opAccum                    // commutative integer accumulation
+	opConstStore               // store of a constant into an outer lvalue
+	opAppend                   // append to an outer slice
+	opEarlyExit                // break, or return of constants only
+)
+
+// bodyOp is one effect found in a loop body.
+type bodyOp struct {
+	kind opKind
+	pos  token.Pos
+	why  string
+	// target is the stored-to variable (opConstStore, opAppend).
+	target *types.Var
+	// constVal is the stored constant (opConstStore) or the returned
+	// constant tuple (opEarlyExit returns), for consistency checks.
+	constVal string
+	// indexed marks a const store through an index expression (a
+	// set-insert) as opposed to a scalar flag.
+	indexed bool
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyObj := rangeVarObj(pass, rs.Key)
+	ops := collectOps(pass, rs.Body, keyObj)
+	if len(ops) == 0 {
+		return
+	}
+
+	// Consistency facts across the whole body.
+	constVals := make(map[*types.Var]map[string]bool)
+	returnVals := make(map[string]bool)
+	scalarFlagTargets := make(map[*types.Var]bool)
+	hasEarlyExit := false
+	for _, op := range ops {
+		switch op.kind {
+		case opConstStore:
+			if constVals[op.target] == nil {
+				constVals[op.target] = make(map[string]bool)
+			}
+			constVals[op.target][op.constVal] = true
+			if !op.indexed {
+				scalarFlagTargets[op.target] = true
+			}
+		case opEarlyExit:
+			hasEarlyExit = true
+			if op.constVal != "" {
+				returnVals[op.constVal] = true
+			}
+		}
+	}
+
+	judge := func(op bodyOp) (ok bool, why string) {
+		switch op.kind {
+		case opKeyed, opAccum:
+			// Distinct-element writes and commutative accumulation are
+			// order-free — unless an early exit makes the processed
+			// subset arbitrary.
+			if hasEarlyExit {
+				return false, op.why + " combined with an early exit (arbitrary subset processed)"
+			}
+			return true, ""
+		case opConstStore:
+			if len(constVals[op.target]) > 1 {
+				return false, fmt.Sprintf("stores different constants into %s depending on the element", op.target.Name())
+			}
+			if hasEarlyExit && (op.indexed || len(scalarFlagTargets) > 1) {
+				return false, op.why + " combined with an early exit (arbitrary subset processed)"
+			}
+			return true, ""
+		case opAppend:
+			if hasEarlyExit {
+				return false, op.why + " combined with an early exit (arbitrary subset appended)"
+			}
+			if !sortedAfter(pass, rest, op.target) {
+				return false, op.why
+			}
+			return true, ""
+		case opEarlyExit:
+			if len(returnVals) > 1 {
+				return false, "returns different constants depending on which element is visited first"
+			}
+			for _, other := range ops {
+				if other.kind == opOther || other.kind == opAppend {
+					return false, op.why
+				}
+			}
+			// Residual flag stores are judged by their own rule above.
+			return true, ""
+		default:
+			return false, op.why
+		}
+	}
+
+	var firstBad *bodyOp
+	for i := range ops {
+		if ok, why := judge(ops[i]); !ok {
+			ops[i].why = why
+			if firstBad == nil || ops[i].pos < firstBad.pos {
+				firstBad = &ops[i]
+			}
+		}
+	}
+	if firstBad == nil {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"iteration over map %s is order-sensitive: %s; sort the keys first or justify with //lint:maporder <reason>",
+		exprString(rs.X), firstBad.why)
+}
+
+// rangeVarObj resolves a range clause variable to its object (nil for
+// blank or absent variables).
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+// collectOps walks the loop body and classifies every effect that
+// could depend on iteration order.
+func collectOps(pass *Pass, body *ast.BlockStmt, keyObj types.Object) []bodyOp {
+	var ops []bodyOp
+	local := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := pass.ObjectOf(root)
+		return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End()
+	}
+	isKey := func(e ast.Expr) bool {
+		if keyObj == nil {
+			return false
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.ObjectOf(id) == keyObj
+	}
+	add := func(kind opKind, pos token.Pos, format string, args ...any) {
+		ops = append(ops, bodyOp{kind: kind, pos: pos, why: fmt.Sprintf(format, args...)})
+	}
+
+	// breakables tracks nested loop/switch/select spans: an unlabeled
+	// break inside them does not exit the map range.
+	var breakables []ast.Node
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are opaque to this analysis
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			breakables = append(breakables, n)
+			return true
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if blankIdent(lhs) || local(lhs) {
+					continue
+				}
+				if indexedByKey(lhs, isKey) {
+					add(opKeyed, s.Pos(), "writes element-keyed state")
+					continue
+				}
+				if (s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN ||
+					s.Tok == token.OR_ASSIGN || s.Tok == token.AND_ASSIGN || s.Tok == token.XOR_ASSIGN) &&
+					isInteger(pass.TypeOf(lhs)) {
+					add(opAccum, s.Pos(), "accumulates into %s", exprString(lhs))
+					continue
+				}
+				if s.Tok == token.ASSIGN && len(s.Lhs) == len(s.Rhs) {
+					if tgt := appendTarget(pass, s.Rhs[i], lhs); tgt != nil {
+						ops = append(ops, bodyOp{
+							kind:   opAppend,
+							pos:    s.Pos(),
+							why:    fmt.Sprintf("appends to %s in map order", tgt.Name()),
+							target: tgt,
+						})
+						continue
+					}
+					if tgt, val, indexed := constStore(pass, lhs, s.Rhs[i]); tgt != nil {
+						ops = append(ops, bodyOp{
+							kind:     opConstStore,
+							pos:      s.Pos(),
+							why:      fmt.Sprintf("stores into %s", exprString(lhs)),
+							target:   tgt,
+							constVal: val,
+							indexed:  indexed,
+						})
+						continue
+					}
+				}
+				add(opOther, s.Pos(), "assigns to %s declared outside the loop", exprString(lhs))
+			}
+		case *ast.IncDecStmt:
+			if blankIdent(s.X) || local(s.X) {
+				return true
+			}
+			if indexedByKey(s.X, isKey) {
+				add(opKeyed, s.Pos(), "writes element-keyed state")
+			} else if isInteger(pass.TypeOf(s.X)) {
+				add(opAccum, s.Pos(), "counts into %s", exprString(s.X))
+			} else {
+				add(opOther, s.Pos(), "mutates %s declared outside the loop", exprString(s.X))
+			}
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, isBuiltin := builtinName(pass, call); isBuiltin {
+				if name == "delete" && len(call.Args) == 2 && isKey(call.Args[1]) {
+					add(opKeyed, s.Pos(), "deletes the visited key")
+					return true
+				}
+				add(opOther, s.Pos(), "calls builtin %s with order-dependent effect", name)
+				return true
+			}
+			if recvLocal(pass, call, local) {
+				return true // method on a loop-local receiver
+			}
+			add(opOther, s.Pos(), "calls %s for its side effects in map order", exprString(call.Fun))
+		case *ast.ReturnStmt:
+			if tuple, allConst := constResults(pass, s); allConst {
+				ops = append(ops, bodyOp{
+					kind:     opEarlyExit,
+					pos:      s.Pos(),
+					why:      "returns from inside the loop (exits on an arbitrary element)",
+					constVal: tuple,
+				})
+			} else {
+				add(opOther, s.Pos(), "returns a value that depends on which element is visited (arbitrary under map order)")
+			}
+		case *ast.BranchStmt:
+			if s.Tok == token.GOTO {
+				add(opOther, s.Pos(), "goto exits the loop on an arbitrary element")
+				return true
+			}
+			if s.Tok != token.BREAK {
+				return true
+			}
+			if s.Label != nil {
+				add(opOther, s.Pos(), "labeled break exits the loop on an arbitrary element")
+				return true
+			}
+			for _, b := range breakables {
+				if b.Pos() <= s.Pos() && s.Pos() < b.End() {
+					return true // breaks a nested construct, not the map range
+				}
+			}
+			add(opEarlyExit, s.Pos(), "break exits the loop on an arbitrary element")
+		case *ast.SendStmt:
+			add(opOther, s.Pos(), "sends on a channel in map order")
+		case *ast.GoStmt:
+			add(opOther, s.Pos(), "launches goroutines in map order")
+		case *ast.DeferStmt:
+			add(opOther, s.Pos(), "defers calls in map order")
+		}
+		return true
+	})
+	return ops
+}
+
+// constStore recognizes a store of an untyped/typed constant into an
+// outer lvalue, returning the target variable, the constant's exact
+// value, and whether the store goes through an index expression.
+func constStore(pass *Pass, lhs, rhs ast.Expr) (*types.Var, string, bool) {
+	tv, ok := pass.Info.Types[rhs]
+	if !ok || tv.Value == nil {
+		return nil, "", false
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return nil, "", false
+	}
+	v, _ := pass.ObjectOf(root).(*types.Var)
+	if v == nil {
+		return nil, "", false
+	}
+	_, indexed := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !indexed {
+		// Selector chains count as indexed-ish only when an index is
+		// involved; a plain field store x.f = c behaves like a scalar
+		// flag on x.f.
+		indexed = strings.Contains(exprString(lhs), "[")
+	}
+	return v, tv.Value.ExactString(), indexed
+}
+
+// constResults reports whether every result of a return statement is a
+// constant, and encodes the tuple for consistency comparison. A bare
+// return (naked or no results) counts as constant.
+func constResults(pass *Pass, ret *ast.ReturnStmt) (string, bool) {
+	var parts []string
+	for _, r := range ret.Results {
+		tv, ok := pass.Info.Types[r]
+		if !ok || tv.Value == nil {
+			// nil is Value-less but constant in spirit.
+			if id, isIdent := ast.Unparen(r).(*ast.Ident); isIdent && id.Name == "nil" {
+				parts = append(parts, "nil")
+				continue
+			}
+			return "", false
+		}
+		parts = append(parts, tv.Value.ExactString())
+	}
+	return "(" + strings.Join(parts, ",") + ")", true
+}
+
+// indexedByKey reports whether the expression is an index chain where
+// some index is exactly the loop key (m[k], m[k].f, a[i][k] = ...).
+func indexedByKey(e ast.Expr, isKey func(ast.Expr) bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if isKey(x.Index) {
+				return true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// appendTarget recognizes lhs = append(lhs, ...) and returns the
+// appended-to variable.
+func appendTarget(pass *Pass, rhs, lhs ast.Expr) *types.Var {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if name, isBuiltin := builtinName(pass, call); !isBuiltin || name != "append" {
+		return nil
+	}
+	lid, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	aid, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || aid.Name != lid.Name {
+		return nil
+	}
+	v, _ := pass.ObjectOf(lid).(*types.Var)
+	if v == nil || pass.ObjectOf(aid) != v {
+		return nil
+	}
+	return v
+}
+
+// sortedAfter reports whether a statement after the loop (in the same
+// block) sorts the given variable: a call whose qualified name
+// contains "sort" (sort.Slice, sort.Strings, slices.Sort,
+// sortTransferKeys, ...) with v among its arguments.
+func sortedAfter(pass *Pass, rest []ast.Stmt, v *types.Var) bool {
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(strings.ToLower(exprString(call.Fun)), "sort") {
+			continue
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.ObjectOf(id) == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvLocal reports whether the call is a method (or field-function)
+// call rooted at a loop-local variable.
+func recvLocal(pass *Pass, call *ast.CallExpr, local func(ast.Expr) bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return local(sel.X)
+}
+
+func builtinName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := pass.ObjectOf(id).(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func blankIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun)
+	default:
+		return "expression"
+	}
+}

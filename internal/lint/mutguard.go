@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// MutguardConfig tunes the mutguard analyzer.
+type MutguardConfig struct {
+	// GuardedPkgSuffix is the import-path suffix of the package whose
+	// struct is guarded; every file of that package is inside the
+	// mutation boundary.
+	GuardedPkgSuffix string
+	// GuardedType is the guarded struct's type name.
+	GuardedType string
+	// Fields lists the bound-state fields whose writes are restricted.
+	Fields []string
+	// AllowedFileSuffixes lists slash-separated file-path suffixes that
+	// are also inside the mutation boundary.
+	AllowedFileSuffixes []string
+}
+
+// DefaultMutguardConfig guards binding.Binding's bound state. Legal
+// mutation sites are the binding package itself and the designated
+// move layer: core's moves.go (Table-1 moves), initial.go (the
+// constructive start) and polish.go (the deterministic downhill tail).
+// Everything else must go through those layers, so that every mutation
+// path is covered by binding.Check-based legality tests.
+func DefaultMutguardConfig() MutguardConfig {
+	return MutguardConfig{
+		GuardedPkgSuffix: "internal/binding",
+		GuardedType:      "Binding",
+		Fields:           []string{"OpFU", "OpSwap", "SegReg", "Copies", "Pass"},
+		AllowedFileSuffixes: []string{
+			"internal/core/moves.go",
+			"internal/core/initial.go",
+			"internal/core/polish.go",
+		},
+	}
+}
+
+// NewMutguard builds the mutation-boundary analyzer: direct writes to
+// the guarded struct's bound-state fields (assignments, op-assignments,
+// increment/decrement, and delete on its maps) are only legal inside
+// the configured boundary.
+func NewMutguard(cfg MutguardConfig) *Analyzer {
+	fields := make(map[string]bool, len(cfg.Fields))
+	for _, f := range cfg.Fields {
+		fields[f] = true
+	}
+	a := &Analyzer{
+		Name: "mutguard",
+		Doc: "restricts writes to " + cfg.GuardedType + " bound-state fields to the designated " +
+			"mutation boundary (the move/initial/polish layer and the owning package)",
+	}
+	a.Run = func(pass *Pass) {
+		if pathHasSuffix(pass.Pkg.Path(), cfg.GuardedPkgSuffix) {
+			return // the owning package is the innermost boundary
+		}
+		boundary := func(filename string) bool {
+			slash := filepath.ToSlash(filename)
+			for _, suf := range cfg.AllowedFileSuffixes {
+				if strings.HasSuffix(slash, suf) {
+					return true
+				}
+			}
+			return false
+		}
+		report := func(pos token.Pos, field, verb string) {
+			pass.Reportf(pos,
+				"%s of %s.%s.%s outside the mutation boundary (allowed: %s, %s); route it through the move layer or justify with //lint:mutguard <reason>",
+				verb, cfg.GuardedPkgSuffix, cfg.GuardedType, field,
+				cfg.GuardedPkgSuffix, strings.Join(cfg.AllowedFileSuffixes, ", "))
+		}
+		for _, file := range pass.Files {
+			if boundary(pass.Fset.Position(file.Pos()).Filename) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						if field := guardedField(pass, cfg, fields, lhs); field != "" {
+							report(s.Pos(), field, "write")
+						}
+					}
+				case *ast.IncDecStmt:
+					if field := guardedField(pass, cfg, fields, s.X); field != "" {
+						report(s.Pos(), field, "write")
+					}
+				case *ast.CallExpr:
+					if name, isBuiltin := builtinName(pass, s); isBuiltin && name == "delete" && len(s.Args) == 2 {
+						if field := guardedField(pass, cfg, fields, s.Args[0]); field != "" {
+							report(s.Pos(), field, "delete")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// guardedField peels index/star/paren layers off an lvalue and, when
+// the base is a selection of a guarded bound-state field, returns the
+// field name.
+func guardedField(pass *Pass, cfg MutguardConfig, fields map[string]bool, e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return ""
+			}
+			if !fields[x.Sel.Name] {
+				return ""
+			}
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				return ""
+			}
+			obj := named.Obj()
+			if obj.Name() != cfg.GuardedType || obj.Pkg() == nil ||
+				!pathHasSuffix(obj.Pkg().Path(), cfg.GuardedPkgSuffix) {
+				return ""
+			}
+			return x.Sel.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package atomicfield exercises the all-or-nothing atomicity rule.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+// bump makes hits an atomic field for the whole package.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// load reads it atomically — legal.
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// race reads it plainly — a finding.
+func (c *counter) race() int64 {
+	return c.hits // want "field hits is accessed with sync/atomic elsewhere"
+}
+
+// plainTotal never touches sync/atomic, so plain access is legal.
+func (c *counter) plainTotal() int64 {
+	c.total++
+	return c.total
+}

@@ -1,0 +1,18 @@
+// Package badmut writes Binding bound state outside the mutation
+// boundary — every unjustified write is a mutguard finding.
+package badmut
+
+import "fix/internal/binding"
+
+// Tamper mutates every guarded field the illegal way.
+func Tamper(b *binding.Binding) {
+	b.OpFU[0] = 1          // want "write of internal/binding.Binding.OpFU outside the mutation boundary"
+	b.OpSwap[0] = true     // want "write of internal/binding.Binding.OpSwap outside the mutation boundary"
+	b.SegReg[0][1] = 2     // want "write of internal/binding.Binding.SegReg outside the mutation boundary"
+	b.Copies[3] = []int{1} // want "write of internal/binding.Binding.Copies outside the mutation boundary"
+	b.Pass[1]++            // want "write of internal/binding.Binding.Pass outside the mutation boundary"
+	delete(b.Pass, 1)      // want "delete of internal/binding.Binding.Pass outside the mutation boundary"
+	b.Cost = 9             // unguarded field: no finding
+	//lint:mutguard fixture: demo construction, Check-validated by the caller
+	b.OpFU[1] = 2 // suppressed by the directive above
+}

@@ -1,0 +1,29 @@
+// Package badrand exercises the detrand global-source and time-seed
+// rules. It is not a pure search package, so plain clock reads are
+// fine here.
+package badrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws from the process-global source — a finding.
+func Global() int {
+	return rand.Intn(10) // want "draws from the process-global source"
+}
+
+// TimeSeed derives a seed from the wall clock — a finding.
+func TimeSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "seed for rand.NewSource is derived from the wall clock"
+}
+
+// Seeded threads an explicit seed — legal.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Clock reads time outside the pure search packages — legal.
+func Clock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,35 @@
+// Package checkerr exercises the discarded-legality-error rule.
+package checkerr
+
+import "errors"
+
+// G carries Check/Validate methods shaped like the real model's.
+type G struct{}
+
+// Check stands in for a legality validator.
+func (G) Check() error { return nil }
+
+// Validate stands in for a structural validator.
+func (G) Validate() error { return errors.New("invalid") }
+
+// VerifyAll returns a count alongside the error.
+func VerifyAll() (int, error) { return 0, nil }
+
+// CheckName is check-like in name only: no error result, never flagged.
+func (G) CheckName() string { return "g" }
+
+func use() {
+	var g G
+	g.Check()           // want "error from Check discarded"
+	_ = g.Validate()    // want "error from Validate assigned to _"
+	n, _ := VerifyAll() // want "error from VerifyAll assigned to _"
+	_ = n
+	defer g.Check() // want "error from Check discarded by defer"
+	go g.Check()    // want "error from Check discarded by go statement"
+	if err := g.Check(); err != nil {
+		panic(err)
+	}
+	_ = g.CheckName()
+	//lint:checkerr fixture: failure here is impossible by construction
+	g.Check() // suppressed by the directive above
+}

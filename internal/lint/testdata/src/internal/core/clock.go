@@ -1,0 +1,14 @@
+package core
+
+import "time"
+
+// Elapsed reads the clock inside a pure search package — a finding.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since inside pure search package"
+}
+
+// Stamp carries a justification, so the identical read is suppressed.
+func Stamp() time.Time {
+	//lint:detrand fixture: telemetry only, never feeds a search decision
+	return time.Now()
+}

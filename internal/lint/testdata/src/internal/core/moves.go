@@ -1,0 +1,13 @@
+// Package core holds the fixture move layer: moves.go is inside the
+// mutguard boundary, other files of the package are not.
+package core
+
+import "fix/internal/binding"
+
+// Move mutates bound state from the designated move file — legal.
+func Move(b *binding.Binding, op, f int) {
+	b.OpFU[op] = f
+	b.OpSwap[op] = !b.OpSwap[op]
+	b.Pass[op] = f
+	delete(b.Pass, op+1)
+}

@@ -1,0 +1,122 @@
+// Package maporder exercises every exemption and violation class of
+// the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendNoSort leaks map order into a slice — a finding.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to out in map order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// appendThenSort is the collect-then-sort idiom — legal.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyed writes one distinct destination element per iteration — legal.
+func keyed(m map[string]int, dst map[string]int) {
+	for k, v := range m {
+		dst[k] = v + 1
+	}
+}
+
+// sum accumulates integers, which commutes — legal.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// setInsert stores one consistent constant per target — legal.
+func setInsert(m map[string]int, seen map[int]bool) {
+	for _, v := range m {
+		seen[v] = true
+	}
+}
+
+// anyNegative is the monotone-flag existential search — legal.
+func anyNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// firstKey returns whichever element happens to come first — a finding.
+func firstKey(m map[string]int) string {
+	for k := range m { // want "returns a value that depends on which element is visited"
+		return k
+	}
+	return ""
+}
+
+// allPositive returns one consistent constant — legal.
+func allPositive(m map[string]int) bool {
+	for _, v := range m {
+		if v <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// report emits output in map order — a finding.
+func report(m map[string]int) {
+	for k := range m { // want "calls fmt.Println for its side effects in map order"
+		fmt.Println(k)
+	}
+}
+
+// subsetAppend breaks mid-collection, so the sort cannot repair the
+// arbitrary subset — a finding.
+func subsetAppend(m map[string]int, stop string) []string {
+	var out []string
+	for k := range m { // want "arbitrary"
+		if k == stop {
+			break
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// justified carries a maporder justification — suppressed.
+func justified(m map[string]int) {
+	//lint:maporder fixture: output order deliberately irrelevant here
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// innerBreak only exits a nested loop, and the outer effects stay
+// order-free — legal.
+func innerBreak(m map[string][]int, seen map[string]bool) {
+	for k, vs := range m {
+		for _, v := range vs {
+			if v == 0 {
+				seen[k] = true
+				break
+			}
+		}
+	}
+}

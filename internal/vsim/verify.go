@@ -2,6 +2,7 @@ package vsim
 
 import (
 	"fmt"
+	"sort"
 
 	"salsa/internal/binding"
 	"salsa/internal/cdfg"
@@ -44,6 +45,12 @@ func VerifyBinding(b *binding.Binding, env cdfg.Env, iters int) error {
 			outStep[g.Nodes[i].Name] = b.A.Sched.Start[i]
 		}
 	}
+	// Sorted name order keeps mismatch reports deterministic.
+	outNames := make([]string, 0, len(outStep))
+	for name := range outStep {
+		outNames = append(outNames, name)
+	}
+	sort.Strings(outNames)
 	T := b.A.Sched.Steps
 
 	cur := cdfg.Env{}
@@ -62,8 +69,8 @@ func VerifyBinding(b *binding.Binding, env cdfg.Env, iters int) error {
 		}
 		storage := b.A.StorageSteps
 		for step := 0; step < storage; step++ {
-			for name, rs := range outStep {
-				if rs != step {
+			for _, name := range outNames {
+				if outStep[name] != step {
 					continue
 				}
 				if got, want := sim.Peek("out_"+name), ref.Outputs[name]; got != want {
@@ -79,8 +86,8 @@ func VerifyBinding(b *binding.Binding, env cdfg.Env, iters int) error {
 		}
 		if g.Cyclic {
 			// Wrapped outputs surface right after the final edge.
-			for name, rs := range outStep {
-				if rs < T {
+			for _, name := range outNames {
+				if outStep[name] < T {
 					continue
 				}
 				if got, want := sim.Peek("out_"+name), ref.Outputs[name]; got != want {
