@@ -80,7 +80,7 @@ func TestListAndBadFlags(t *testing.T) {
 	if got := run([]string{"-list"}, &out, &errb); got != 0 {
 		t.Fatalf("-list exit = %d, want 0", got)
 	}
-	for _, name := range []string{"detrand", "maporder", "mutguard", "atomicfield", "checkerr"} {
+	for _, name := range []string{"detrand", "maporder", "mutguard", "graphmut", "atomicfield", "checkerr"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output misses analyzer %s", name)
 		}
@@ -88,7 +88,7 @@ func TestListAndBadFlags(t *testing.T) {
 	if got := run([]string{"-enable", "nosuch"}, &out, &errb); got != 2 {
 		t.Fatalf("unknown analyzer exit = %d, want 2", got)
 	}
-	if got := run([]string{"-disable", "detrand,maporder,mutguard,atomicfield,checkerr"}, &out, &errb); got != 2 {
+	if got := run([]string{"-disable", "detrand,maporder,mutguard,graphmut,atomicfield,checkerr"}, &out, &errb); got != 2 {
 		t.Fatalf("empty selection exit = %d, want 2", got)
 	}
 }

@@ -216,15 +216,36 @@ func (g *Graph) OpCount(op Op) int {
 	return n
 }
 
-// Validate checks structural invariants and returns the first violation
-// found, or nil.
+// ValidationError aggregates every structural violation Validate found
+// in one pass, sorted lexicographically. Reporting all violations at
+// once (rather than first-error-wins) keeps the message stable under
+// node reordering, which the shrinker and the FuzzValidate corpus rely
+// on when comparing findings across runs.
+type ValidationError struct {
+	// Violations holds one message per violation, sorted.
+	Violations []string
+}
+
+func (e *ValidationError) Error() string {
+	if len(e.Violations) == 1 {
+		return e.Violations[0]
+	}
+	return fmt.Sprintf("%d violations: %s", len(e.Violations), strings.Join(e.Violations, "; "))
+}
+
+// Validate checks structural invariants and returns nil or a
+// *ValidationError listing every violation, sorted.
 func (g *Graph) Validate() error {
+	var viol []string
+	bad := func(format string, args ...any) {
+		viol = append(viol, fmt.Sprintf(format, args...))
+	}
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		if n.ID != NodeID(i) {
-			return fmt.Errorf("node %d: stored ID %d mismatch", i, n.ID)
+			bad("node %d: stored ID %d mismatch", i, n.ID)
 		}
-		var wantArgs int
+		wantArgs := -1
 		switch {
 		case n.Op.IsArith():
 			wantArgs = 2
@@ -233,39 +254,43 @@ func (g *Graph) Validate() error {
 		case n.Op.IsSource():
 			wantArgs = 0
 		default:
-			return fmt.Errorf("node %s: invalid op", n.Name)
+			bad("node %s: invalid op", n.Name)
 		}
-		if len(n.Args) != wantArgs {
-			return fmt.Errorf("node %s (%s): has %d args, want %d", n.Name, n.Op, len(n.Args), wantArgs)
+		if wantArgs >= 0 && len(n.Args) != wantArgs {
+			bad("node %s (%s): has %d args, want %d", n.Name, n.Op, len(n.Args), wantArgs)
 		}
 		for _, a := range n.Args {
 			if a < 0 || int(a) >= len(g.Nodes) {
-				return fmt.Errorf("node %s: arg %d out of range", n.Name, a)
+				bad("node %s: arg %d out of range", n.Name, a)
+				continue // the remaining arg checks would index out of range
 			}
 			if g.Nodes[a].Op == Output {
-				return fmt.Errorf("node %s: reads Output node %s", n.Name, g.Nodes[a].Name)
+				bad("node %s: reads Output node %s", n.Name, g.Nodes[a].Name)
 			}
 			if a >= n.ID {
-				return fmt.Errorf("node %s: forward reference to %s (graph must be built in topological order)", n.Name, g.Nodes[a].Name)
+				bad("node %s: forward reference to %s (graph must be built in topological order)", n.Name, g.Nodes[a].Name)
 			}
 		}
 		if n.Op == State {
 			if g.Cyclic && n.Next == NoNode {
-				return fmt.Errorf("state node %s: Next unset in cyclic graph", n.Name)
+				bad("state node %s: Next unset in cyclic graph", n.Name)
 			}
 			if n.Next != NoNode {
 				if n.Next < 0 || int(n.Next) >= len(g.Nodes) {
-					return fmt.Errorf("state node %s: Next out of range", n.Name)
-				}
-				if nx := g.Nodes[n.Next].Op; nx == Output {
-					return fmt.Errorf("state node %s: Next is an Output node", n.Name)
+					bad("state node %s: Next out of range", n.Name)
+				} else if nx := g.Nodes[n.Next].Op; nx == Output {
+					bad("state node %s: Next is an Output node", n.Name)
 				}
 			}
 		} else if n.Next != NoNode {
-			return fmt.Errorf("node %s: Next set on non-state node", n.Name)
+			bad("node %s: Next set on non-state node", n.Name)
 		}
 	}
-	return nil
+	if len(viol) == 0 {
+		return nil
+	}
+	sort.Strings(viol)
+	return &ValidationError{Violations: viol}
 }
 
 // Topo returns the node IDs in a topological order of the acyclic data

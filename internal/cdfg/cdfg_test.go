@@ -2,6 +2,7 @@ package cdfg
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -98,6 +99,43 @@ func TestValidateCatchesNextOnNonState(t *testing.T) {
 	g.Nodes[s].Next = a
 	if err := g.Validate(); err == nil {
 		t.Error("Validate accepted Next on a non-state node")
+	}
+}
+
+func TestValidateReportsAllViolations(t *testing.T) {
+	// Corrupt a graph three independent ways; Validate must aggregate
+	// every violation, sorted, instead of stopping at the first — the
+	// shrinker and the fuzz corpus compare findings across runs and
+	// need the message independent of discovery order.
+	g := New("bad")
+	a := g.Input("a")
+	g.State("sv")
+	g.Cyclic = true                                                        // sv.Next unset
+	g.add(Node{Op: Add, Name: "halfadd", Args: []NodeID{a}, Next: NoNode}) // arity
+	g.Nodes[a].Next = a                                                    // Next on non-state
+
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a triply corrupted graph")
+	}
+	verr, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("Validate returned %T, want *ValidationError", err)
+	}
+	if len(verr.Violations) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(verr.Violations), verr.Violations)
+	}
+	if !sort.StringsAreSorted(verr.Violations) {
+		t.Errorf("violations not sorted: %v", verr.Violations)
+	}
+	for _, want := range []string{
+		"node a: Next set on non-state node",
+		"node halfadd (add): has 1 args, want 2",
+		"state node sv: Next unset in cyclic graph",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing violation %q", err, want)
+		}
 	}
 }
 

@@ -181,6 +181,10 @@ func (m *mover) fuExchange(nb *binding.Binding) bool {
 // fuMove (F2) reassigns one operator to another unit of its class that
 // is free over the operator's initiation window.
 func (m *mover) fuMove(nb *binding.Binding) bool {
+	// Shrunk oracle cases can be operator-free (only states and ports).
+	if len(m.arithOps) == 0 {
+		return false
+	}
 	op := m.arithOps[m.rng.Intn(len(m.arithOps))]
 	g := nb.A.Sched.G
 	s := nb.A.Sched
@@ -331,6 +335,9 @@ func (m *mover) rebindHolder(nb *binding.Binding, v lifetime.ValueID, t, from, t
 // introduces exactly one new transfer and is how a value migrates
 // registers mid-life in the extended model.
 func (m *mover) segMove(nb *binding.Binding) bool {
+	if len(m.valueIDs) == 0 {
+		return false
+	}
 	occ, err := nb.RegOccupancy()
 	if err != nil {
 		return false
@@ -431,6 +438,9 @@ func (m *mover) valueExchange(nb *binding.Binding) bool {
 // valueMove (R4) reassigns all segments of one value to a single
 // register; rejected if the register is not free across the lifetime.
 func (m *mover) valueMove(nb *binding.Binding) bool {
+	if len(m.valueIDs) == 0 {
+		return false
+	}
 	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
 	r := m.rng.Intn(len(nb.HW.Regs))
 	val := &nb.A.Values[v]
@@ -448,6 +458,9 @@ func (m *mover) valueMove(nb *binding.Binding) bool {
 
 // valueSplit (R5) stores a copy of one value segment in a free register.
 func (m *mover) valueSplit(nb *binding.Binding) bool {
+	if len(m.valueIDs) == 0 {
+		return false
+	}
 	occ, err := nb.RegOccupancy()
 	if err != nil {
 		return false

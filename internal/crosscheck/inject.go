@@ -1,0 +1,73 @@
+package crosscheck
+
+import (
+	"fmt"
+	"sort"
+
+	"salsa/internal/binding"
+	"salsa/internal/cdfg"
+	"salsa/internal/lifetime"
+)
+
+// InjectFault returns a fault injector for Config.Inject by name, or an
+// error listing the known kinds. Injectors deliberately corrupt a
+// cloned binding so the oracle's recheck stages can be demonstrated to
+// catch — and the shrinker to minimize — a planted legality bug; they
+// are reachable only through Config.Inject (tests and the salsafuzz
+// -inject flag), never on the verification path.
+func InjectFault(kind string) (func(*binding.Binding), error) {
+	switch kind {
+	case "seg-alias":
+		// Alias one value's first segment register onto another value's:
+		// when the two lifetimes overlap, two values claim one register
+		// in the same step — the class of bug a broken register move
+		// (R1/R2) would introduce.
+		return func(b *binding.Binding) {
+			if len(b.SegReg) < 2 || len(b.SegReg[0]) == 0 || len(b.SegReg[1]) == 0 {
+				return
+			}
+			//lint:mutguard deliberate fault injection for the oracle's self-test; applied to a clone, never on the allocation path
+			b.SegReg[1][0] = b.SegReg[0][0]
+		}, nil
+	case "swap-noncommutative":
+		// Flip the operand-order flag of a subtraction: binding.Check
+		// rejects it, and if legality checking ever regressed, dpsim
+		// would still catch the sign flip against the reference.
+		return func(b *binding.Binding) {
+			g := b.A.Sched.G
+			for i := range g.Nodes {
+				if g.Nodes[i].Op == cdfg.Sub {
+					//lint:mutguard deliberate fault injection for the oracle's self-test; applied to a clone, never on the allocation path
+					b.OpSwap[i] = true
+					return
+				}
+			}
+		}, nil
+	case "copy-phantom":
+		// Record a copy in a register the value does not legally occupy:
+		// register occupancy or the simulator's copy-agreement check
+		// must reject it.
+		return func(b *binding.Binding) {
+			if len(b.HW.Regs) < 2 {
+				return
+			}
+			for v := range b.SegReg {
+				if len(b.SegReg[v]) == 0 {
+					continue
+				}
+				r := (b.SegReg[v][0] + 1) % len(b.HW.Regs)
+				b.AddCopy(lifetime.ValueID(v), 0, r)
+				return
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("crosscheck: unknown fault kind %q (known: %v)", kind, FaultKinds())
+	}
+}
+
+// FaultKinds lists the injectable fault names, sorted.
+func FaultKinds() []string {
+	kinds := []string{"seg-alias", "swap-noncommutative", "copy-phantom"}
+	sort.Strings(kinds)
+	return kinds
+}

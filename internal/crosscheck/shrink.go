@@ -1,0 +1,112 @@
+package crosscheck
+
+import (
+	"fmt"
+
+	"salsa/internal/randgraph"
+)
+
+// Shrunk describes a minimized failing case, attached to the original
+// finding's report.
+type Shrunk struct {
+	Ops       int    `json:"ops"`
+	Nodes     int    `json:"nodes"`
+	Steps     int    `json:"steps"`
+	ExtraRegs int    `json:"extra_regs"`
+	Stage     string `json:"stage"`
+	Detail    string `json:"detail"`
+	Attempts  int    `json:"attempts"`
+	// GraphJSON is the minimized graph in the cdfg JSON schema, ready
+	// to replay through cdfg.ParseJSON.
+	GraphJSON string `json:"graph"`
+}
+
+// DefaultShrinkBudget bounds the number of candidate re-runs one
+// Shrink call may spend.
+const DefaultShrinkBudget = 400
+
+// Shrink greedily minimizes a failing case: it tries every one-step
+// graph reduction (dropping outputs, dropping dead nodes, bypassing
+// operators) plus schedule tightening (one step or one extra register
+// less) and keeps any candidate that still fails at the same stage,
+// restarting from it. The walk ends when no candidate preserves the
+// failure or the attempt budget is spent. It returns the minimized
+// case, its report, and the number of candidate runs used; when the
+// original case does not fail, it is returned unchanged with a nil
+// report.
+func (cfg Config) Shrink(seed int64, cs *randgraph.Case, budget int) (*randgraph.Case, *Report, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	cur := cs
+	curRep := cfg.Run(seed, cur)
+	if curRep.Status != StatusFinding {
+		return cur, nil, 0
+	}
+	stage := curRep.Stage
+	attempts := 0
+	for attempts < budget {
+		improved := false
+		for _, cand := range shrinkSteps(cur) {
+			attempts++
+			rep := cfg.Run(seed, cand)
+			if rep.Status == StatusFinding && rep.Stage == stage {
+				cur, curRep = cand, rep
+				improved = true
+				break // greedy: restart candidate enumeration from the smaller case
+			}
+			if attempts >= budget {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curRep, attempts
+}
+
+// shrinkSteps enumerates the one-step reductions of a case in
+// deterministic order: graph reductions first (they shrink the
+// dominant size measure), then one schedule step less, then one extra
+// register less.
+func shrinkSteps(cs *randgraph.Case) []*randgraph.Case {
+	var out []*randgraph.Case
+	for _, ng := range randgraph.ShrinkCandidates(cs.Graph) {
+		out = append(out, &randgraph.Case{
+			Graph: ng, Steps: cs.Steps,
+			PipelinedMul: cs.PipelinedMul, ExtraRegs: cs.ExtraRegs,
+		})
+	}
+	if cs.Steps > 1 {
+		c := *cs
+		c.Steps--
+		out = append(out, &c)
+	}
+	if cs.ExtraRegs > 0 {
+		c := *cs
+		c.ExtraRegs--
+		out = append(out, &c)
+	}
+	return out
+}
+
+// ShrunkInfo renders the minimized case for a report. It is split from
+// Shrink so the driver controls when the (indented JSON) graph dump is
+// produced.
+func ShrunkInfo(cs *randgraph.Case, rep *Report, attempts int) (*Shrunk, error) {
+	js, err := cs.Graph.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("crosscheck: marshalling shrunk graph: %w", err)
+	}
+	return &Shrunk{
+		Ops:       cs.Graph.NumOps(),
+		Nodes:     len(cs.Graph.Nodes),
+		Steps:     cs.Steps,
+		ExtraRegs: cs.ExtraRegs,
+		Stage:     rep.Stage,
+		Detail:    rep.Detail,
+		Attempts:  attempts,
+		GraphJSON: string(js),
+	}, nil
+}

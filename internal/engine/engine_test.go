@@ -16,6 +16,7 @@ import (
 	"salsa/internal/datapath"
 	"salsa/internal/engine"
 	"salsa/internal/lifetime"
+	"salsa/internal/randgraph"
 	"salsa/internal/workloads"
 )
 
@@ -346,5 +347,69 @@ func TestMixedFeasibility(t *testing.T) {
 	}
 	if err := res.Binding.Check(); err != nil {
 		t.Errorf("winner illegal: %v", err)
+	}
+}
+
+// TestCancellationOnGeneratedWorkloads extends the anytime contract to
+// the random scheduled-CDFG cases the differential oracle
+// (internal/crosscheck) feeds the engine: cancelling mid-trial must
+// return the best-so-far incumbent as a fully consistent binding —
+// legal under Check and with a reported cost that matches a from-
+// scratch re-evaluation — never a partially mutated clone.
+func TestCancellationOnGeneratedWorkloads(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		cs := randgraph.Generate(seed, randgraph.Params{})
+		g := cs.Graph
+		d := cdfg.DefaultDelays(cs.PipelinedMul)
+		a, lim, err := lifetime.MinFUAnalysis(g, d, cs.Steps)
+		if err != nil {
+			continue // random schedule legitimately infeasible
+		}
+		var inputs []string
+		for i := range g.Nodes {
+			if g.Nodes[i].Op == cdfg.Input {
+				inputs = append(inputs, g.Nodes[i].Name)
+			}
+		}
+		hw := datapath.NewHardware(lim, a.MinRegs+cs.ExtraRegs, inputs, true)
+
+		// An effectively unbounded search, so only cancellation ends it.
+		o := core.SALSAOptions(seed)
+		o.MovesPerTrial = 2000
+		o.MaxTrials = 1 << 30
+		o.StallTrials = 1 << 30
+
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		var once sync.Once
+		cfg := engine.Config{
+			Workers: 3,
+			Events: func(ev engine.Event) {
+				if ev.Kind == engine.EventImproved {
+					once.Do(cancel) // cancel mid-search at the first improvement
+				}
+			},
+		}
+		res, st, err := engine.Run(ctx, a, hw, engine.Restarts(o, 3), cfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("seed %d: cancelled run failed outright: %v", seed, err)
+		}
+		if st.Cancelled == 0 {
+			t.Errorf("seed %d: no job recorded as cancelled", seed)
+		}
+		if err := res.Binding.Check(); err != nil {
+			t.Errorf("seed %d: best-so-far binding illegal after cancel: %v", seed, err)
+		}
+		if _, cost, err := res.Binding.Eval(); err != nil {
+			t.Errorf("seed %d: best-so-far binding does not evaluate: %v", seed, err)
+		} else if cost != res.Cost {
+			t.Errorf("seed %d: reported cost %+v != re-evaluated %+v (partially mutated incumbent?)",
+				seed, res.Cost, cost)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("every seed was infeasible; the test never exercised cancellation")
 	}
 }

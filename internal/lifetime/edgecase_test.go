@@ -1,0 +1,204 @@
+package lifetime
+
+import (
+	"sort"
+	"testing"
+
+	"salsa/internal/cdfg"
+)
+
+// TestLifetimeEdgeCases is a table-driven pin of the segment-boundary
+// arithmetic for the shapes the random-graph oracle generates
+// constantly but the benchmark suite rarely hits: values live across
+// the loop back-edge, single-step lifetimes, values read in the very
+// step they become live, values born exactly at the wrap edge, and
+// dead values. Each case pins Birth, Len, the exact read steps, and
+// the write step, plus the StepAt/LiveAt boundaries derived from them.
+func TestLifetimeEdgeCases(t *testing.T) {
+	type wantValue struct {
+		birth, len int
+		readSteps  []int // sorted
+		writeStep  int
+	}
+	cases := []struct {
+		name  string
+		steps int
+		build func() *cdfg.Graph
+		want  map[string]wantValue
+	}{
+		{
+			// sv -> a1 -> a2 -> sv: the merged loop-carried value is
+			// born one step before the wrap and read at step 0 of the
+			// next iteration, so its segment chain crosses the
+			// back-edge: segments at steps {2, 0}.
+			name:  "loop-back-edge",
+			steps: 3,
+			build: func() *cdfg.Graph {
+				g := cdfg.New("backedge")
+				in := g.Input("in")
+				sv := g.State("sv")
+				a1 := g.Add("a1", sv, in)
+				a2 := g.Add("a2", a1, in)
+				g.SetNext(sv, a2)
+				g.Output("o", a2)
+				return g
+			},
+			want: map[string]wantValue{
+				// a2 finishes at step 2 (born step 2), sv is read by a1
+				// at step 0, and the output reads the value at its
+				// birth step.
+				"sv": {birth: 2, len: 2, readSteps: []int{0, 2}, writeStep: 1},
+				// a1: born 1, read by a2 at 1 — single-step lifetime
+				// consumed in its first live step.
+				"a1": {birth: 1, len: 1, readSteps: []int{1}, writeStep: 0},
+			},
+		},
+		{
+			// A value whose only consumer issues in the value's birth
+			// step: the tightest legal read, segment count exactly 1.
+			name:  "read-at-birth-step",
+			steps: 3,
+			build: func() *cdfg.Graph {
+				g := cdfg.New("tightread")
+				x := g.Input("x")
+				y := g.Input("y")
+				a1 := g.Add("a1", x, y)
+				a2 := g.Add("a2", a1, x)
+				g.Output("o", a2)
+				return g
+			},
+			want: map[string]wantValue{
+				"a1": {birth: 1, len: 1, readSteps: []int{1}, writeStep: 0},
+				// a2 is read by the output sink in the extra storage
+				// step of the straight-line schedule.
+				"a2": {birth: 2, len: 1, readSteps: []int{2}, writeStep: 1},
+			},
+		},
+		{
+			// The minimized shape of the oracle's first real catch (the
+			// reset-edge register-load bug): two cross-fed states where
+			// one merged value is born exactly at the wrap edge
+			// (finish == T), so its birth wraps to step 0 and its only
+			// non-state read is an Output peeked after the final edge.
+			name:  "wrap-edge-output",
+			steps: 2,
+			build: func() *cdfg.Graph {
+				g := cdfg.New("wrapout")
+				in := g.Input("in")
+				c := g.Const("c", 7)
+				s0 := g.State("s0")
+				s1 := g.State("s1")
+				add8 := g.Add("add8", s1, c)
+				add14 := g.Add("add14", s0, in)
+				g.Output("o", add14)
+				g.SetNext(s0, add14)
+				g.SetNext(s1, add8)
+				return g
+			},
+			want: map[string]wantValue{
+				// add14 finishes at step 2 == T: birth wraps to 0; the
+				// output reads at the wrapped step 0 and add14 itself
+				// reads the state at step 1.
+				"s0": {birth: 0, len: 2, readSteps: []int{0, 1}, writeStep: 1},
+				// add8 finishes at step 1; read back by itself (via s1)
+				// at step 0 of the next iteration.
+				"s1": {birth: 1, len: 2, readSteps: []int{0}, writeStep: 0},
+			},
+		},
+		{
+			// A dead value still occupies one segment at its birth
+			// step — the allocator must park it somewhere for exactly
+			// one step.
+			name:  "dead-value",
+			steps: 2,
+			build: func() *cdfg.Graph {
+				g := cdfg.New("dead")
+				x := g.Input("x")
+				y := g.Input("y")
+				g.Add("unused", x, y)
+				s := g.Add("s", x, y)
+				g.Output("o", s)
+				return g
+			},
+			want: map[string]wantValue{
+				"unused": {birth: 1, len: 1, readSteps: nil, writeStep: 0},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := mustAnalyze(t, tc.build(), tc.steps)
+			byName := map[string]*Value{}
+			for i := range a.Values {
+				byName[a.Values[i].Name] = &a.Values[i]
+			}
+			for name, want := range tc.want {
+				v, ok := byName[name]
+				if !ok {
+					t.Fatalf("no storage value named %q (have %v)", name, names(a))
+				}
+				if v.Birth != want.birth || v.Len != want.len {
+					t.Errorf("%s: birth/len = %d/%d, want %d/%d", name, v.Birth, v.Len, want.birth, want.len)
+				}
+				var reads []int
+				for _, r := range v.Reads {
+					reads = append(reads, r.Step)
+				}
+				sort.Ints(reads)
+				if !equalInts(reads, want.readSteps) {
+					t.Errorf("%s: read steps %v, want %v", name, reads, want.readSteps)
+				}
+				if got := a.WriteStep(v); got != want.writeStep {
+					t.Errorf("%s: write step %d, want %d", name, got, want.writeStep)
+				}
+
+				// Segment-boundary identities: StepAt walks Birth..Birth+Len-1
+				// modulo StorageSteps, LiveAt inverts it exactly there and
+				// nowhere else.
+				live := map[int]bool{}
+				for k := 0; k < v.Len; k++ {
+					step := v.StepAt(k, a.StorageSteps)
+					if wantStep := (v.Birth + k) % a.StorageSteps; step != wantStep {
+						t.Errorf("%s: StepAt(%d) = %d, want %d", name, k, step, wantStep)
+					}
+					live[step] = true
+					if k2, ok := v.LiveAt(step, a.StorageSteps); !ok || k2 != k {
+						t.Errorf("%s: LiveAt(StepAt(%d)) = %d,%v, want %d,true", name, k, k2, ok, k)
+					}
+				}
+				for step := 0; step < a.StorageSteps; step++ {
+					if _, ok := v.LiveAt(step, a.StorageSteps); ok != live[step] {
+						t.Errorf("%s: LiveAt(%d) = %v, want %v", name, step, ok, live[step])
+					}
+				}
+				// Every read must land inside the live range.
+				for _, r := range v.Reads {
+					if _, ok := v.LiveAt(r.Step, a.StorageSteps); !ok {
+						t.Errorf("%s: read at %d outside live range", name, r.Step)
+					}
+				}
+			}
+		})
+	}
+}
+
+func names(a *Analysis) []string {
+	var out []string
+	for i := range a.Values {
+		out = append(out, a.Values[i].Name)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -15,6 +15,10 @@
 //   - mutguard: bound-state fields of binding.Binding are only written
 //     inside the designated mutation boundary (the binding package
 //     itself and core's moves/initial/polish files).
+//   - graphmut: the same boundary mechanism applied to cdfg.Graph's
+//     structural state — only the cdfg builder and the random-graph
+//     generator may mutate a graph; everything downstream treats
+//     graphs as immutable.
 //   - atomicfield: a struct field accessed through sync/atomic anywhere
 //     must be accessed atomically everywhere.
 //   - checkerr: error results of Check/Validate/Verify* calls must not
@@ -222,13 +226,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// Suite returns the five project analyzers in their default
+// Suite returns the six project analyzers in their default
 // configuration, in stable order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		NewDetrand(DefaultDetrandConfig()),
 		Maporder,
 		NewMutguard(DefaultMutguardConfig()),
+		NewMutguard(GraphMutguardConfig()),
 		Atomicfield,
 		Checkerr,
 	}

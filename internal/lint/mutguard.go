@@ -8,8 +8,11 @@ import (
 	"strings"
 )
 
-// MutguardConfig tunes the mutguard analyzer.
+// MutguardConfig tunes one instance of the mutation-boundary analyzer.
 type MutguardConfig struct {
+	// Name is the analyzer (and //lint: directive) name this instance
+	// reports under. Empty means "mutguard".
+	Name string
 	// GuardedPkgSuffix is the import-path suffix of the package whose
 	// struct is guarded; every file of that package is inside the
 	// mutation boundary.
@@ -18,6 +21,9 @@ type MutguardConfig struct {
 	GuardedType string
 	// Fields lists the bound-state fields whose writes are restricted.
 	Fields []string
+	// AllowedPkgSuffixes lists import-path suffixes of packages that are
+	// inside the mutation boundary in their entirety.
+	AllowedPkgSuffixes []string
 	// AllowedFileSuffixes lists slash-separated file-path suffixes that
 	// are also inside the mutation boundary.
 	AllowedFileSuffixes []string
@@ -42,23 +48,55 @@ func DefaultMutguardConfig() MutguardConfig {
 	}
 }
 
-// NewMutguard builds the mutation-boundary analyzer: direct writes to
-// the guarded struct's bound-state fields (assignments, op-assignments,
+// GraphMutguardConfig guards cdfg.Graph's structural state (the node
+// list and the cyclic flag). Legal mutation sites are the cdfg package
+// itself — whose builder API keeps the use map consistent and is the
+// only path Validate covers — and the random-graph generator package,
+// whose whole business is assembling graphs for the differential
+// oracle. Everywhere else (crosscheck, the shrinker's rebuilds, the
+// engine, the simulators) must treat graphs as immutable and construct
+// new ones through the builder, so that a schedule or analysis computed
+// from a graph can never silently disagree with it.
+func GraphMutguardConfig() MutguardConfig {
+	return MutguardConfig{
+		Name:             "graphmut",
+		GuardedPkgSuffix: "internal/cdfg",
+		GuardedType:      "Graph",
+		Fields:           []string{"Nodes", "Cyclic"},
+		AllowedPkgSuffixes: []string{
+			"internal/randgraph",
+		},
+	}
+}
+
+// NewMutguard builds a mutation-boundary analyzer: direct writes to
+// the guarded struct's guarded fields (assignments, op-assignments,
 // increment/decrement, and delete on its maps) are only legal inside
 // the configured boundary.
 func NewMutguard(cfg MutguardConfig) *Analyzer {
+	name := cfg.Name
+	if name == "" {
+		name = "mutguard"
+	}
 	fields := make(map[string]bool, len(cfg.Fields))
 	for _, f := range cfg.Fields {
 		fields[f] = true
 	}
+	allowed := append([]string{cfg.GuardedPkgSuffix}, cfg.AllowedPkgSuffixes...)
+	allowed = append(allowed, cfg.AllowedFileSuffixes...)
 	a := &Analyzer{
-		Name: "mutguard",
-		Doc: "restricts writes to " + cfg.GuardedType + " bound-state fields to the designated " +
-			"mutation boundary (the move/initial/polish layer and the owning package)",
+		Name: name,
+		Doc: "restricts writes to " + cfg.GuardedType + " guarded fields to the designated " +
+			"mutation boundary (" + strings.Join(allowed, ", ") + ")",
 	}
 	a.Run = func(pass *Pass) {
 		if pathHasSuffix(pass.Pkg.Path(), cfg.GuardedPkgSuffix) {
 			return // the owning package is the innermost boundary
+		}
+		for _, suf := range cfg.AllowedPkgSuffixes {
+			if pathHasSuffix(pass.Pkg.Path(), suf) {
+				return
+			}
 		}
 		boundary := func(filename string) bool {
 			slash := filepath.ToSlash(filename)
@@ -71,9 +109,9 @@ func NewMutguard(cfg MutguardConfig) *Analyzer {
 		}
 		report := func(pos token.Pos, field, verb string) {
 			pass.Reportf(pos,
-				"%s of %s.%s.%s outside the mutation boundary (allowed: %s, %s); route it through the move layer or justify with //lint:mutguard <reason>",
+				"%s of %s.%s.%s outside the mutation boundary (allowed: %s); route it through the owning package or justify with //lint:%s <reason>",
 				verb, cfg.GuardedPkgSuffix, cfg.GuardedType, field,
-				cfg.GuardedPkgSuffix, strings.Join(cfg.AllowedFileSuffixes, ", "))
+				strings.Join(allowed, ", "), name)
 		}
 		for _, file := range pass.Files {
 			if boundary(pass.Fset.Position(file.Pos()).Filename) {
@@ -105,9 +143,11 @@ func NewMutguard(cfg MutguardConfig) *Analyzer {
 	return a
 }
 
-// guardedField peels index/star/paren layers off an lvalue and, when
-// the base is a selection of a guarded bound-state field, returns the
-// field name.
+// guardedField peels index/star/paren/selector layers off an lvalue
+// and, when its access path passes through a selection of a guarded
+// field, returns that field's name. Walking past non-guarded selector
+// layers matters for element writes like g.Nodes[i].Next = v, which
+// mutate guarded state just as surely as g.Nodes = nil does.
 func guardedField(pass *Pass, cfg MutguardConfig, fields map[string]bool, e ast.Expr) string {
 	for {
 		switch x := ast.Unparen(e).(type) {
@@ -124,23 +164,20 @@ func guardedField(pass *Pass, cfg MutguardConfig, fields map[string]bool, e ast.
 			if !ok || sel.Kind() != types.FieldVal {
 				return ""
 			}
-			if !fields[x.Sel.Name] {
-				return ""
+			if fields[x.Sel.Name] {
+				recv := sel.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if named, ok := recv.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Name() == cfg.GuardedType && obj.Pkg() != nil &&
+						pathHasSuffix(obj.Pkg().Path(), cfg.GuardedPkgSuffix) {
+						return x.Sel.Name
+					}
+				}
 			}
-			recv := sel.Recv()
-			if p, ok := recv.(*types.Pointer); ok {
-				recv = p.Elem()
-			}
-			named, ok := recv.(*types.Named)
-			if !ok {
-				return ""
-			}
-			obj := named.Obj()
-			if obj.Name() != cfg.GuardedType || obj.Pkg() == nil ||
-				!pathHasSuffix(obj.Pkg().Path(), cfg.GuardedPkgSuffix) {
-				return ""
-			}
-			return x.Sel.Name
+			e = x.X // keep walking: the base may select a guarded field
 		default:
 			return ""
 		}

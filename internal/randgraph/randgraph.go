@@ -1,0 +1,281 @@
+// Package randgraph generates random — but structurally valid —
+// scheduled-CDFG allocation cases for the differential oracle
+// (internal/crosscheck). Every correctness claim of the repository
+// otherwise rests on the handful of benchmark graphs in
+// internal/workloads; the generator stresses the extended binding
+// model's segmentation, pass-through and value-copy machinery on
+// thousands of graph shapes those benchmarks never reach: loop-carried
+// values fed by deep cones, values read by many consumers, constants
+// feeding multipliers, dead values, single-step lifetimes, and
+// schedules with little or no slack.
+//
+// Generation is deterministic: the same seed and Params always produce
+// the same Case, byte for byte, on every platform and Go version (the
+// package uses its own linear-congruential generator rather than
+// math/rand, mirroring workloads.Synthetic). Graphs are built
+// exclusively through the cdfg builder API so every structural
+// invariant the builder enforces holds by construction; Generate
+// additionally runs Validate and panics on a violation, because an
+// invalid generated graph is a generator bug, never an input error.
+package randgraph
+
+import (
+	"fmt"
+
+	"salsa/internal/cdfg"
+)
+
+// Params bounds the random shape of a generated case. The zero value
+// selects the defaults documented per field (applied by Default).
+type Params struct {
+	// MinOps and MaxOps bound the number of arithmetic operators
+	// (defaults 4 and 12).
+	MinOps, MaxOps int
+	// AddWeight, SubWeight and MulWeight are the relative odds of each
+	// operator kind (defaults 5, 2, 3).
+	AddWeight, SubWeight, MulWeight int
+	// CyclicPct is the percentage of seeds that generate a loop body
+	// with loop-carried state values (default 50).
+	CyclicPct int
+	// MaxStates bounds the number of loop-carried values of a cyclic
+	// case (default 3, minimum 1 when cyclic).
+	MaxStates int
+	// MaxInputs bounds the number of primary inputs (default 3,
+	// minimum 1).
+	MaxInputs int
+	// MaxConsts bounds the number of constant nodes (default 2).
+	MaxConsts int
+	// ReusePct is the percentage chance an operand is drawn uniformly
+	// from the whole value pool instead of the most recent values; it
+	// controls how often multi-reader values arise (default 40).
+	ReusePct int
+	// ExtraOutPct is the percentage chance a non-sink operator value
+	// additionally feeds a primary output, creating values read both by
+	// operators and by output ports (default 15).
+	ExtraOutPct int
+	// MaxSlack bounds the schedule slack beyond the critical path
+	// (default 3).
+	MaxSlack int
+	// MaxExtraRegs bounds the register budget beyond the schedule's
+	// minimum (default 2).
+	MaxExtraRegs int
+	// PipelinedPct is the percentage of seeds whose multipliers are
+	// pipelined (initiation interval one; default 30).
+	PipelinedPct int
+}
+
+// Default returns p with every unset (zero) field replaced by its
+// documented default.
+func (p Params) Default() Params {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&p.MinOps, 4)
+	def(&p.MaxOps, 12)
+	def(&p.AddWeight, 5)
+	def(&p.SubWeight, 2)
+	def(&p.MulWeight, 3)
+	def(&p.CyclicPct, 50)
+	def(&p.MaxStates, 3)
+	def(&p.MaxInputs, 3)
+	def(&p.MaxConsts, 2)
+	def(&p.ReusePct, 40)
+	def(&p.ExtraOutPct, 15)
+	def(&p.MaxSlack, 3)
+	def(&p.MaxExtraRegs, 2)
+	def(&p.PipelinedPct, 30)
+	if p.MaxOps < p.MinOps {
+		p.MaxOps = p.MinOps
+	}
+	return p
+}
+
+// Case is one generated allocation problem: a validated graph plus the
+// scheduling-side knobs the compilation pipeline needs. It mirrors the
+// fields of salsa.Params so the crosscheck harness (and a human
+// replaying a seed) can reconstruct the exact compilation.
+type Case struct {
+	Graph *cdfg.Graph
+	// Steps is the schedule length (critical path + generated slack).
+	Steps int
+	// PipelinedMul selects pipelined multipliers (II = 1).
+	PipelinedMul bool
+	// ExtraRegs is the register budget beyond the schedule minimum.
+	ExtraRegs int
+}
+
+// rng is a small deterministic linear-congruential generator, so
+// generated graphs do not depend on math/rand internals across Go
+// versions (same rationale and constants as workloads.Synthetic).
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng {
+	return &rng{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
+}
+
+// intn returns a deterministic value in [0, n).
+func (r *rng) intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+// pct reports true with the given percentage probability.
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+// Generate produces the case for one seed under the given parameters.
+// It panics if the generated graph fails Validate: by construction that
+// can only be a generator bug, and the crosscheck harness must be able
+// to rely on generated inputs being structurally valid.
+func Generate(seed int64, p Params) *Case {
+	p = p.Default()
+	r := newRNG(seed)
+	g := cdfg.New(fmt.Sprintf("rand%d", seed))
+
+	nIn := 1 + r.intn(p.MaxInputs)
+	nConst := r.intn(p.MaxConsts + 1)
+	cyclic := r.pct(p.CyclicPct)
+	nState := 0
+	if cyclic {
+		nState = 1 + r.intn(p.MaxStates)
+	}
+	nOps := p.MinOps + r.intn(p.MaxOps-p.MinOps+1)
+	if nOps < nState {
+		nOps = nState // every state needs its own producer
+	}
+
+	// Sources first: the builder requires topological construction and
+	// operators may read any source.
+	var pool []cdfg.NodeID // operand candidates, in creation order
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, g.Input(fmt.Sprintf("in%d", i)))
+	}
+	for i := 0; i < nConst; i++ {
+		pool = append(pool, g.Const(fmt.Sprintf("c%d", i), int64(r.intn(21)-10)))
+	}
+	var states []cdfg.NodeID
+	for i := 0; i < nState; i++ {
+		s := g.State(fmt.Sprintf("s%d", i))
+		states = append(states, s)
+		pool = append(pool, s)
+	}
+
+	// Operators: weighted kinds, operands biased toward recent values
+	// with a reuse chance that manufactures multi-reader values.
+	pick := func() cdfg.NodeID {
+		if len(pool) > 6 && !r.pct(p.ReusePct) {
+			return pool[len(pool)-1-r.intn(6)]
+		}
+		return pool[r.intn(len(pool))]
+	}
+	wTotal := p.AddWeight + p.SubWeight + p.MulWeight
+	var ops []cdfg.NodeID
+	for i := 0; i < nOps; i++ {
+		a, b := pick(), pick()
+		var id cdfg.NodeID
+		switch w := r.intn(wTotal); {
+		case w < p.AddWeight:
+			id = g.Add("", a, b)
+		case w < p.AddWeight+p.SubWeight:
+			id = g.Sub("", a, b)
+		default:
+			id = g.Mul("", a, b)
+		}
+		ops = append(ops, id)
+		pool = append(pool, id)
+	}
+
+	// Loop-carried back edges: each state receives a distinct producer
+	// (an operator, or an input as the corner case of an externally
+	// loaded state). Producers reachable from the state are preferred so
+	// the back edge closes a genuine dependence cycle.
+	if cyclic {
+		taken := make(map[cdfg.NodeID]bool)
+		for _, s := range states {
+			var candidates []cdfg.NodeID
+			if r.pct(15) {
+				// Corner case: a state loaded from an external input port
+				// at the wrap edge rather than computed in the loop body.
+				for i := 0; i < nIn; i++ {
+					if id := cdfg.NodeID(i); !taken[id] {
+						candidates = append(candidates, id)
+					}
+				}
+			}
+			if len(candidates) == 0 {
+				// Prefer operators reachable from the state, so the back
+				// edge closes a genuine dependence cycle.
+				for _, id := range reachableOps(g, s) {
+					if !taken[id] {
+						candidates = append(candidates, id)
+					}
+				}
+			}
+			if len(candidates) == 0 || r.pct(25) {
+				candidates = candidates[:0]
+				for _, id := range ops {
+					if !taken[id] {
+						candidates = append(candidates, id)
+					}
+				}
+			}
+			next := candidates[r.intn(len(candidates))]
+			taken[next] = true
+			g.SetNext(s, next)
+		}
+	}
+
+	// Outputs: most operator sinks become primary outputs (the rest stay
+	// dead values, which exercise the one-step dead-value lifetime), and
+	// a few non-sink values gain an extra output reader.
+	nOut := 0
+	for _, id := range ops {
+		sink := len(g.Uses(id)) == 0
+		if (sink && r.pct(75)) || (!sink && r.pct(p.ExtraOutPct)) {
+			g.Output(fmt.Sprintf("out%d", nOut), id)
+			nOut++
+		}
+	}
+	if nOut == 0 {
+		g.Output("out0", ops[len(ops)-1])
+	}
+
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("randgraph: seed %d generated an invalid graph: %v", seed, err))
+	}
+
+	pipelined := r.pct(p.PipelinedPct)
+	d := cdfg.DefaultDelays(pipelined)
+	return &Case{
+		Graph:        g,
+		Steps:        g.CriticalPath(d) + r.intn(p.MaxSlack+1),
+		PipelinedMul: pipelined,
+		ExtraRegs:    r.intn(p.MaxExtraRegs + 1),
+	}
+}
+
+// reachableOps returns, in ID order, the arithmetic nodes reachable
+// from id through the use edges (the operators whose value depends on
+// id within one iteration).
+func reachableOps(g *cdfg.Graph, id cdfg.NodeID) []cdfg.NodeID {
+	seen := make(map[cdfg.NodeID]bool)
+	var walk func(cdfg.NodeID)
+	walk = func(n cdfg.NodeID) {
+		for _, u := range g.SortedUses(n) {
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			walk(u)
+		}
+	}
+	walk(id)
+	var out []cdfg.NodeID
+	for i := range g.Nodes {
+		if id := cdfg.NodeID(i); seen[id] && g.Nodes[i].Op.IsArith() {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -147,7 +147,8 @@ func TestEmitFunctionalContent(t *testing.T) {
 	for _, want := range []string{
 		"always @* begin",
 		"case (step)",
-		"always @(posedge clk) if (step ==",
+		"always @(posedge clk) if (rst)", // datapath registers reset, then step-gated loads
+		"else if (step ==",
 		"_opa", "_opb", // multiplier operand latches
 		"assign out_c =",
 		"assign out_y_out =",
