@@ -195,6 +195,38 @@ func BenchmarkCloneEWF(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaEvalEWF measures one transactional move round-trip
+// (apply + delta cost + rollback) — the incremental path's per-move
+// cost, replacing clone + full Eval.
+func BenchmarkDeltaEvalEWF(b *testing.B) {
+	bd := ewfBinding(b)
+	tx, err := binding.NewTx(bd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		tx.FlipSwap(txFirstCommutative(b, bd))
+		if _, err := tx.DeltaCost(); err != nil {
+			b.Fatal(err)
+		}
+		tx.Rollback()
+	}
+}
+
+func txFirstCommutative(b *testing.B, bd *binding.Binding) cdfg.NodeID {
+	b.Helper()
+	g := bd.A.Sched.G
+	for i := range g.Nodes {
+		if g.Nodes[i].Op.IsArith() && g.Nodes[i].Op.Commutative() {
+			return cdfg.NodeID(i)
+		}
+	}
+	b.Fatal("no commutative op in workload")
+	return cdfg.NoNode
+}
+
 // BenchmarkMuxMergeEWF measures the merging post-pass.
 func BenchmarkMuxMergeEWF(b *testing.B) {
 	bd := ewfBinding(b)
@@ -352,7 +384,11 @@ func BenchmarkScale_Synth200(b *testing.B) { benchScale(b, 200) }
 // benchAllocateParallel runs an 8-restart portfolio through the engine
 // with the given worker count; the allocation result is identical for
 // every worker count, so the families differ only in wall clock.
-func benchAllocateParallel(b *testing.B, g func() *cdfg.Graph, steps, workers int) {
+// cloneEval selects the legacy clone-and-reevaluate reference path; the
+// default transactional path produces byte-identical allocations, so
+// the CloneEval families measure exactly the incremental evaluation's
+// speedup.
+func benchAllocateParallel(b *testing.B, g func() *cdfg.Graph, steps, workers int, cloneEval bool) {
 	b.Helper()
 	graph := g()
 	d := cdfg.DefaultDelays(false)
@@ -370,6 +406,7 @@ func benchAllocateParallel(b *testing.B, g func() *cdfg.Graph, steps, workers in
 	o := core.SALSAOptions(1)
 	o.MovesPerTrial = 600
 	o.MaxTrials = 8
+	o.CloneEval = cloneEval
 	jobs := engine.Restarts(o, 8)
 	b.ResetTimer()
 	var merged float64
@@ -385,16 +422,25 @@ func benchAllocateParallel(b *testing.B, g func() *cdfg.Graph, steps, workers in
 }
 
 func BenchmarkAllocateParallel_EWF_W1(b *testing.B) {
-	benchAllocateParallel(b, workloads.EWF, 19, 1)
+	benchAllocateParallel(b, workloads.EWF, 19, 1, false)
 }
 func BenchmarkAllocateParallel_EWF_WNumCPU(b *testing.B) {
-	benchAllocateParallel(b, workloads.EWF, 19, runtime.NumCPU())
+	benchAllocateParallel(b, workloads.EWF, 19, runtime.NumCPU(), false)
 }
 func BenchmarkAllocateParallel_DCT_W1(b *testing.B) {
-	benchAllocateParallel(b, workloads.DCT, 12, 1)
+	benchAllocateParallel(b, workloads.DCT, 12, 1, false)
 }
 func BenchmarkAllocateParallel_DCT_WNumCPU(b *testing.B) {
-	benchAllocateParallel(b, workloads.DCT, 12, runtime.NumCPU())
+	benchAllocateParallel(b, workloads.DCT, 12, runtime.NumCPU(), false)
+}
+
+// The CloneEval families pin the legacy clone-based path so benchstat
+// can report the incremental transaction speedup from a single run.
+func BenchmarkAllocateParallel_EWF_W1_CloneEval(b *testing.B) {
+	benchAllocateParallel(b, workloads.EWF, 19, 1, true)
+}
+func BenchmarkAllocateParallel_DCT_W1_CloneEval(b *testing.B) {
+	benchAllocateParallel(b, workloads.DCT, 12, 1, true)
 }
 
 // BenchmarkHungarian measures the matching core on a 40x40 instance.

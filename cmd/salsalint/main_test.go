@@ -35,6 +35,7 @@ func TestFixtureExitCodes(t *testing.T) {
 		{"detrand-clock", "detrand", "internal/core", 1},
 		{"maporder", "maporder", "maporder", 1},
 		{"mutguard", "mutguard", "badmut", 1},
+		{"costmut", "costmut", "badcostmut", 1},
 		{"atomicfield", "atomicfield", "atomicfield", 1},
 		{"checkerr", "checkerr", "checkerr", 1},
 		{"clean-package", "", "internal/binding", 0},
@@ -80,7 +81,7 @@ func TestListAndBadFlags(t *testing.T) {
 	if got := run([]string{"-list"}, &out, &errb); got != 0 {
 		t.Fatalf("-list exit = %d, want 0", got)
 	}
-	for _, name := range []string{"detrand", "maporder", "mutguard", "graphmut", "atomicfield", "checkerr"} {
+	for _, name := range []string{"detrand", "maporder", "mutguard", "graphmut", "costmut", "atomicfield", "checkerr"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output misses analyzer %s", name)
 		}
@@ -88,7 +89,7 @@ func TestListAndBadFlags(t *testing.T) {
 	if got := run([]string{"-enable", "nosuch"}, &out, &errb); got != 2 {
 		t.Fatalf("unknown analyzer exit = %d, want 2", got)
 	}
-	if got := run([]string{"-disable", "detrand,maporder,mutguard,graphmut,atomicfield,checkerr"}, &out, &errb); got != 2 {
+	if got := run([]string{"-disable", "detrand,maporder,mutguard,graphmut,costmut,atomicfield,checkerr"}, &out, &errb); got != 2 {
 		t.Fatalf("empty selection exit = %d, want 2", got)
 	}
 }

@@ -176,6 +176,17 @@ func (b *Binding) RegOccupancy() ([][]lifetime.ValueID, error) {
 	occ := make([][]lifetime.ValueID, len(b.HW.Regs))
 	for r := range occ {
 		occ[r] = make([]lifetime.ValueID, b.A.StorageSteps)
+	}
+	if err := b.regOccupancyInto(occ); err != nil {
+		return nil, err
+	}
+	return occ, nil
+}
+
+// regOccupancyInto fills a caller-owned, correctly-sized occupancy
+// table (the transaction layer reuses one buffer across moves).
+func (b *Binding) regOccupancyInto(occ [][]lifetime.ValueID) error {
+	for r := range occ {
 		for t := range occ[r] {
 			occ[r][t] = lifetime.NoValue
 		}
@@ -198,16 +209,16 @@ func (b *Binding) RegOccupancy() ([][]lifetime.ValueID, error) {
 		for k := 0; k < v.Len; k++ {
 			t := v.StepAt(k, b.A.StorageSteps)
 			if err := claim(b.SegReg[i][k], t, v.ID); err != nil {
-				return nil, err
+				return err
 			}
 			for _, c := range b.Copies[SegKey{v.ID, k}] {
 				if err := claim(c, t, v.ID); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
-	return occ, nil
+	return nil
 }
 
 // FUOccupancy describes what each FU does at each step.
@@ -225,18 +236,39 @@ type FUOccupancy struct {
 // FUOccupancy builds the FU usage tables. It errors on overlapping
 // operator windows or class mismatches.
 func (b *Binding) FUOccupancy() (*FUOccupancy, error) {
+	occ := &FUOccupancy{}
+	if err := b.fuOccupancyInto(occ); err != nil {
+		return nil, err
+	}
+	return occ, nil
+}
+
+// fuOccupancyInto (re)builds the FU usage tables into a caller-owned
+// FUOccupancy, resizing its backing arrays only when the hardware or
+// schedule dimensions changed — the transaction layer reuses one
+// instance across moves.
+func (b *Binding) fuOccupancyInto(occ *FUOccupancy) error {
 	g := b.A.Sched.G
 	s := b.A.Sched
 	T := s.Steps
-	occ := &FUOccupancy{PassAt: make(map[[2]int]TransferKey)}
-	occ.Issue = make([][]cdfg.NodeID, len(b.HW.FUs))
-	occ.WriteEdge = make([][]bool, len(b.HW.FUs))
+	if occ.PassAt == nil {
+		occ.PassAt = make(map[[2]int]TransferKey)
+	} else {
+		clear(occ.PassAt)
+	}
+	if len(occ.Issue) != len(b.HW.FUs) {
+		occ.Issue = make([][]cdfg.NodeID, len(b.HW.FUs))
+		occ.WriteEdge = make([][]bool, len(b.HW.FUs))
+	}
 	for f := range occ.Issue {
-		occ.Issue[f] = make([]cdfg.NodeID, T)
+		if len(occ.Issue[f]) != T {
+			occ.Issue[f] = make([]cdfg.NodeID, T)
+			occ.WriteEdge[f] = make([]bool, T)
+		}
 		for t := range occ.Issue[f] {
 			occ.Issue[f][t] = cdfg.NoNode
+			occ.WriteEdge[f][t] = false
 		}
-		occ.WriteEdge[f] = make([]bool, T)
 	}
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
@@ -245,15 +277,15 @@ func (b *Binding) FUOccupancy() (*FUOccupancy, error) {
 		}
 		f := b.OpFU[i]
 		if f < 0 || f >= len(b.HW.FUs) {
-			return nil, fmt.Errorf("binding: op %s has no FU", n.Name)
+			return fmt.Errorf("binding: op %s has no FU", n.Name)
 		}
 		if b.HW.FUs[f].Class != sched.ClassOf(n.Op) {
-			return nil, fmt.Errorf("binding: op %s (%s) bound to %s FU %d", n.Name, n.Op, b.HW.FUs[f].Class, f)
+			return fmt.Errorf("binding: op %s (%s) bound to %s FU %d", n.Name, n.Op, b.HW.FUs[f].Class, f)
 		}
 		st := s.Start[i]
 		for t := st; t < st+s.Delays.IIOf(n.Op); t++ {
 			if prev := occ.Issue[f][t]; prev != cdfg.NoNode {
-				return nil, fmt.Errorf("binding: FU %d runs both %s and %s at step %d", f, g.Nodes[prev].Name, n.Name, t)
+				return fmt.Errorf("binding: FU %d runs both %s and %s at step %d", f, g.Nodes[prev].Name, n.Name, t)
 			}
 			occ.Issue[f][t] = cdfg.NodeID(i)
 		}
@@ -264,11 +296,11 @@ func (b *Binding) FUOccupancy() (*FUOccupancy, error) {
 		t := b.transferStep(tk)
 		key := [2]int{f, t}
 		if prev, dup := occ.PassAt[key]; dup {
-			return nil, fmt.Errorf("binding: FU %d passes two transfers at step %d (%v, %v)", f, t, prev, tk)
+			return fmt.Errorf("binding: FU %d passes two transfers at step %d (%v, %v)", f, t, prev, tk)
 		}
 		occ.PassAt[key] = tk
 	}
-	return occ, nil
+	return nil
 }
 
 // transferStep returns the step during which a transfer's connections

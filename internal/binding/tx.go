@@ -1,0 +1,1003 @@
+package binding
+
+import (
+	"fmt"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/datapath"
+	"salsa/internal/lifetime"
+	"salsa/internal/sched"
+)
+
+// Tx is a move transaction over one Binding: the move layer mutates the
+// binding in place through Tx's typed mutators, each of which appends an
+// undo record and marks the interconnect sinks it perturbs (the
+// affected-set). DeltaCost then recomputes only the dirty sinks —
+// replaying their use-events exactly as Eval would — and Rollback
+// restores both the binding and the cost tables of a rejected move.
+//
+// The equivalence delta == full Eval holds because Eval's greedy source
+// resolution is sink-local: pickHolder only ever queries the net of the
+// sink currently being extended, so a sink's final fanin is a function
+// of the ordered use-events targeting that sink alone. A mutator marks
+// every sink whose event sequence its change can alter; unmarked sinks
+// keep their event sequences and therefore their exact fanins.
+//
+// A Tx built with NewScratchTx skips all cost maintenance and only
+// provides the mutators plus reusable occupancy buffers — the
+// clone-based reference path drives the same move code through a
+// scratch Tx so both paths draw identical random sequences.
+type Tx struct {
+	b *Binding
+	// inc enables incremental cost maintenance; scratch transactions
+	// leave it off and evaluate clones with full Eval instead.
+	inc bool
+
+	ct *datapath.CostTable
+	ns datapath.NetScratch
+
+	// fuArith and fuPass count, per FU, the bound operators and
+	// pass-throughs making it "used"; regCnt counts segments (primary
+	// and copies) per register. The derived terms mirror costOf.
+	fuArith, fuPass []int
+	regCnt          []int
+	fusUsed         int
+	fuArea          int
+	regsUsed        int
+
+	dirty     []bool
+	dirtyList []int
+
+	undo     []undoRec
+	costUndo []costRec
+	inMove   bool
+
+	occBuf  [][]lifetime.ValueID
+	occOK   bool
+	fuocc   FUOccupancy
+	fuoccOK bool
+
+	// outNode inverts the binding's outputIndex.
+	outNode []cdfg.NodeID
+
+	passTmp []passEv
+	segTmp  []segPos
+}
+
+type undoOp int
+
+const (
+	undoOpFU undoOp = iota
+	undoSwap
+	undoSegReg
+	undoAddCopy
+	undoRemoveCopy
+	undoSetPass
+	undoNewPass
+	undoDelPass
+)
+
+// undoRec is one reversible mutation. The integer operands are
+// interpreted per op; tk only applies to the pass records.
+type undoRec struct {
+	op         undoOp
+	a, b, c, d int
+	tk         TransferKey
+}
+
+// costRec remembers one sink's pre-move contribution overwritten by
+// DeltaCost.
+type costRec struct {
+	idx int
+	old int
+}
+
+type passEv struct {
+	tk  TransferKey
+	pos int
+}
+
+// segPos is one (value, chain position) pair held by a register,
+// recovered from the occupancy table during register-sink replay.
+type segPos struct {
+	v lifetime.ValueID
+	k int
+}
+
+// NewTx builds an incremental transaction over b, evaluating it once to
+// seed the cost tables.
+func NewTx(b *Binding) (*Tx, error) {
+	t := &Tx{}
+	if err := t.Reset(b); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewScratchTx builds a mutation-only transaction (no cost tables) so
+// the clone-based path can run the same move code.
+func NewScratchTx(b *Binding) *Tx {
+	t := &Tx{}
+	t.Retarget(b)
+	return t
+}
+
+// B returns the binding under transaction.
+func (t *Tx) B() *Binding { return t.b }
+
+// Retarget points a scratch transaction at another binding over the
+// same hardware and schedule; the clone path retargets one scratch Tx
+// at each fresh clone. Cost state is not maintained.
+func (t *Tx) Retarget(b *Binding) {
+	t.b = b
+	t.inc = false
+	t.ensureShape()
+	t.occOK, t.fuoccOK = false, false
+	t.undo = t.undo[:0]
+	t.inMove = false
+}
+
+// Reset re-seeds an incremental transaction from b's current state: use
+// counts are recomputed and the per-sink cost table is filled from one
+// full evaluation. The search calls it once per trial restart, so its
+// cost amortizes over the trial's moves.
+func (t *Tx) Reset(b *Binding) error {
+	t.b = b
+	t.inc = true
+	t.ensureShape()
+	t.occOK, t.fuoccOK = false, false
+	t.undo = t.undo[:0]
+	t.costUndo = t.costUndo[:0]
+	for _, idx := range t.dirtyList {
+		t.dirty[idx] = false
+	}
+	t.dirtyList = t.dirtyList[:0]
+	t.inMove = false
+
+	for f := range t.fuArith {
+		t.fuArith[f], t.fuPass[f] = 0, 0
+	}
+	for r := range t.regCnt {
+		t.regCnt[r] = 0
+	}
+	t.fusUsed, t.fuArea, t.regsUsed = 0, 0, 0
+	g := b.A.Sched.G
+	for i := range g.Nodes {
+		if g.Nodes[i].Op.IsArith() {
+			if f := b.OpFU[i]; f >= 0 {
+				t.incArith(f)
+			}
+		}
+	}
+	//lint:maporder keyed count increments; the totals are order-free
+	for _, f := range b.Pass {
+		t.incPass(f)
+	}
+	for i := range b.SegReg {
+		for _, r := range b.SegReg[i] {
+			if r >= 0 {
+				t.incReg(r)
+			}
+		}
+	}
+	//lint:maporder keyed count increments; the totals are order-free
+	for _, cs := range b.Copies {
+		for _, r := range cs {
+			t.incReg(r)
+		}
+	}
+
+	ic, _, err := b.Eval()
+	if err != nil {
+		return err
+	}
+	t.ct.Zero()
+	for idx := 0; idx < t.ct.Len(); idx++ {
+		if fan := ic.FaninOf(t.ct.SinkOf(idx)); fan > 1 {
+			t.ct.Set(idx, fan-1)
+		}
+	}
+	return nil
+}
+
+// ensureShape sizes the reusable tables to the binding's hardware and
+// schedule dimensions, reallocating only when they changed.
+func (t *Tx) ensureShape() {
+	b := t.b
+	nF, nR, nO := len(b.HW.FUs), len(b.HW.Regs), len(b.outputIndex)
+	if t.ct == nil || t.ct.NumFUs != nF || t.ct.NumRegs != nR || t.ct.NumOuts != nO {
+		t.ct = datapath.NewCostTable(nF, nR, nO)
+		t.dirty = make([]bool, t.ct.Len())
+		t.dirtyList = t.dirtyList[:0]
+		t.fuArith = make([]int, nF)
+		t.fuPass = make([]int, nF)
+		t.regCnt = make([]int, nR)
+	}
+	if len(t.occBuf) != nR || (nR > 0 && len(t.occBuf[0]) != b.A.StorageSteps) {
+		t.occBuf = make([][]lifetime.ValueID, nR)
+		for r := range t.occBuf {
+			t.occBuf[r] = make([]lifetime.ValueID, b.A.StorageSteps)
+		}
+	}
+	if len(t.outNode) != nO {
+		t.outNode = make([]cdfg.NodeID, nO)
+	}
+	//lint:maporder keyed writes into a dense inverse table; the final contents are order-free
+	for n, idx := range b.outputIndex {
+		t.outNode[idx] = n
+	}
+}
+
+// Begin opens a move: the undo log and cost journal restart empty.
+func (t *Tx) Begin() {
+	t.undo = t.undo[:0]
+	t.costUndo = t.costUndo[:0]
+	t.inMove = true
+}
+
+// Commit accepts the move: the in-place state and updated cost tables
+// become the new baseline and the dirty set is retired.
+func (t *Tx) Commit() {
+	t.inMove = false
+	t.undo = t.undo[:0]
+	t.costUndo = t.costUndo[:0]
+	for _, idx := range t.dirtyList {
+		t.dirty[idx] = false
+	}
+	t.dirtyList = t.dirtyList[:0]
+}
+
+// Rollback rejects the move: cost entries overwritten by DeltaCost are
+// restored from the journal and the binding mutations are unwound in
+// reverse order, re-adjusting the use counts symmetrically.
+func (t *Tx) Rollback() {
+	t.inMove = false
+	for i := len(t.costUndo) - 1; i >= 0; i-- {
+		cu := t.costUndo[i]
+		t.ct.Set(cu.idx, cu.old)
+	}
+	t.costUndo = t.costUndo[:0]
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.revert(&t.undo[i])
+	}
+	t.undo = t.undo[:0]
+	for _, idx := range t.dirtyList {
+		t.dirty[idx] = false
+	}
+	t.dirtyList = t.dirtyList[:0]
+}
+
+// revert unwinds one undo record.
+func (t *Tx) revert(u *undoRec) {
+	b := t.b
+	switch u.op {
+	case undoOpFU:
+		op, old := u.a, u.b
+		if cur := b.OpFU[op]; cur >= 0 {
+			t.decArith(cur)
+		}
+		if old >= 0 {
+			t.incArith(old)
+		}
+		b.OpFU[op] = old
+		t.fuoccOK = false
+	case undoSwap:
+		b.OpSwap[u.a] = !b.OpSwap[u.a]
+	case undoSegReg:
+		v, k, old := lifetime.ValueID(u.a), u.b, u.c
+		if cur := b.SegReg[v][k]; cur >= 0 {
+			t.decReg(cur)
+		}
+		if old >= 0 {
+			t.incReg(old)
+		}
+		b.SegReg[v][k] = old
+		t.occOK = false
+	case undoAddCopy:
+		v, k, r, pos := lifetime.ValueID(u.a), u.b, u.c, u.d
+		key := SegKey{v, k}
+		cs := b.Copies[key]
+		cs = append(cs[:pos], cs[pos+1:]...)
+		if len(cs) == 0 {
+			delete(b.Copies, key)
+		} else {
+			b.Copies[key] = cs
+		}
+		t.decReg(r)
+		t.occOK = false
+	case undoRemoveCopy:
+		v, k, r, pos := lifetime.ValueID(u.a), u.b, u.c, u.d
+		key := SegKey{v, k}
+		cs := append(b.Copies[key], 0)
+		copy(cs[pos+1:], cs[pos:])
+		cs[pos] = r
+		b.Copies[key] = cs
+		t.incReg(r)
+		t.occOK = false
+	case undoSetPass:
+		old := u.a
+		t.decPass(b.Pass[u.tk])
+		t.incPass(old)
+		b.Pass[u.tk] = old
+		t.fuoccOK = false
+	case undoNewPass:
+		t.decPass(b.Pass[u.tk])
+		delete(b.Pass, u.tk)
+		t.fuoccOK = false
+	case undoDelPass:
+		b.Pass[u.tk] = u.a
+		t.incPass(u.a)
+		t.fuoccOK = false
+	}
+}
+
+func (t *Tx) record(u undoRec) {
+	if t.inMove {
+		t.undo = append(t.undo, u)
+	}
+}
+
+// --- use-count maintenance (mirrors costOf's used sets) ---
+
+func (t *Tx) fuWeight(f int) int {
+	if t.b.HW.FUs[f].Class == sched.ClassMul {
+		return t.b.Cfg.WfuMul
+	}
+	return t.b.Cfg.WfuALU
+}
+
+func (t *Tx) incArith(f int) {
+	if !t.inc {
+		return
+	}
+	if t.fuArith[f]+t.fuPass[f] == 0 {
+		t.fusUsed++
+		t.fuArea += t.fuWeight(f)
+	}
+	t.fuArith[f]++
+}
+
+func (t *Tx) decArith(f int) {
+	if !t.inc {
+		return
+	}
+	t.fuArith[f]--
+	if t.fuArith[f]+t.fuPass[f] == 0 {
+		t.fusUsed--
+		t.fuArea -= t.fuWeight(f)
+	}
+}
+
+func (t *Tx) incPass(f int) {
+	if !t.inc {
+		return
+	}
+	if t.fuArith[f]+t.fuPass[f] == 0 {
+		t.fusUsed++
+		t.fuArea += t.fuWeight(f)
+	}
+	t.fuPass[f]++
+}
+
+func (t *Tx) decPass(f int) {
+	if !t.inc {
+		return
+	}
+	t.fuPass[f]--
+	if t.fuArith[f]+t.fuPass[f] == 0 {
+		t.fusUsed--
+		t.fuArea -= t.fuWeight(f)
+	}
+}
+
+func (t *Tx) incReg(r int) {
+	if !t.inc {
+		return
+	}
+	if t.regCnt[r] == 0 {
+		t.regsUsed++
+	}
+	t.regCnt[r]++
+}
+
+func (t *Tx) decReg(r int) {
+	if !t.inc {
+		return
+	}
+	t.regCnt[r]--
+	if t.regCnt[r] == 0 {
+		t.regsUsed--
+	}
+}
+
+// --- affected-set marking ---
+
+func (t *Tx) markIdx(idx int) {
+	if !t.inc || idx < 0 || t.dirty[idx] {
+		return
+	}
+	t.dirty[idx] = true
+	t.dirtyList = append(t.dirtyList, idx)
+}
+
+func (t *Tx) markReg(r int) {
+	if r >= 0 && r < t.ct.NumRegs {
+		t.markIdx(2*t.ct.NumFUs + r)
+	}
+}
+
+func (t *Tx) markFUPorts(f int) {
+	if f >= 0 && f < t.ct.NumFUs {
+		t.markIdx(2 * f)
+		t.markIdx(2*f + 1)
+	}
+}
+
+// markBirth marks the registers loaded at a value's birth — the sinks
+// seeing the producer FU as a source.
+func (t *Tx) markBirth(v lifetime.ValueID) {
+	if !t.inc || v == lifetime.NoValue {
+		return
+	}
+	t.markReg(t.b.SegReg[v][0])
+	for _, c := range t.b.Copies[SegKey{v, 0}] {
+		t.markReg(c)
+	}
+}
+
+// markValue marks every sink whose event sequence can depend on value
+// v's holder sets: the FU ports and output ports reading it, every
+// register holding it (primary or copy, any position), and the input
+// ports of pass-through FUs carrying its transfers.
+func (t *Tx) markValue(v lifetime.ValueID) {
+	if !t.inc || v == lifetime.NoValue {
+		return
+	}
+	b := t.b
+	val := &b.A.Values[v]
+	for _, rd := range val.Reads {
+		if rd.Port < 0 {
+			t.markIdx(2*t.ct.NumFUs + t.ct.NumRegs + b.outputIndex[rd.Consumer])
+		} else {
+			t.markFUPorts(b.OpFU[rd.Consumer])
+		}
+	}
+	for k := 0; k < val.Len; k++ {
+		t.markReg(b.SegReg[v][k])
+		for _, c := range b.Copies[SegKey{v, k}] {
+			t.markReg(c)
+		}
+	}
+	//lint:maporder set insertion into the dirty set; membership is order-free
+	for tk, f := range b.Pass {
+		if tk.V == v {
+			t.markIdx(2 * f)
+		}
+	}
+}
+
+// --- mutators ---
+
+// SetOpFU rebinds arithmetic node op to FU f (moves F1/F2).
+func (t *Tx) SetOpFU(op cdfg.NodeID, f int) {
+	b := t.b
+	old := b.OpFU[op]
+	if old == f {
+		return
+	}
+	t.record(undoRec{op: undoOpFU, a: int(op), b: old})
+	if old >= 0 {
+		t.decArith(old)
+	}
+	if f >= 0 {
+		t.incArith(f)
+	}
+	b.OpFU[op] = f
+	t.fuoccOK = false
+	t.markFUPorts(old)
+	t.markFUPorts(f)
+	t.markBirth(b.A.ValueOf[op])
+}
+
+// FlipSwap reverses the operand order of commutative node op (move F3).
+func (t *Tx) FlipSwap(op cdfg.NodeID) {
+	b := t.b
+	t.record(undoRec{op: undoSwap, a: int(op)})
+	b.OpSwap[op] = !b.OpSwap[op]
+	t.markFUPorts(b.OpFU[op])
+}
+
+// SetSegReg moves value v's chain position k to register r.
+func (t *Tx) SetSegReg(v lifetime.ValueID, k, r int) {
+	b := t.b
+	old := b.SegReg[v][k]
+	if old == r {
+		return
+	}
+	t.record(undoRec{op: undoSegReg, a: int(v), b: k, c: old})
+	if old >= 0 {
+		t.decReg(old)
+	}
+	if r >= 0 {
+		t.incReg(r)
+	}
+	b.SegReg[v][k] = r
+	t.occOK = false
+	t.markReg(old)
+	t.markReg(r)
+	t.markValue(v)
+}
+
+// AddCopy stores a copy of (v, k) in register r (move R5).
+func (t *Tx) AddCopy(v lifetime.ValueID, k, r int) {
+	b := t.b
+	key := SegKey{v, k}
+	t.record(undoRec{op: undoAddCopy, a: int(v), b: k, c: r, d: len(b.Copies[key])})
+	b.Copies[key] = append(b.Copies[key], r)
+	t.incReg(r)
+	t.occOK = false
+	t.markReg(r)
+	t.markValue(v)
+}
+
+// RemoveCopy deletes the copy of (v, k) in register r (move R6),
+// reporting whether it existed.
+func (t *Tx) RemoveCopy(v lifetime.ValueID, k, r int) bool {
+	b := t.b
+	key := SegKey{v, k}
+	cs := b.Copies[key]
+	for i, c := range cs {
+		if c != r {
+			continue
+		}
+		t.record(undoRec{op: undoRemoveCopy, a: int(v), b: k, c: r, d: i})
+		cs = append(cs[:i], cs[i+1:]...)
+		if len(cs) == 0 {
+			delete(b.Copies, key)
+		} else {
+			b.Copies[key] = cs
+		}
+		t.decReg(r)
+		t.occOK = false
+		t.markReg(r)
+		t.markValue(v)
+		return true
+	}
+	return false
+}
+
+// SetPass binds transfer tk to pass-capable FU f (move F4).
+func (t *Tx) SetPass(tk TransferKey, f int) {
+	b := t.b
+	old, existed := b.Pass[tk]
+	if existed && old == f {
+		return
+	}
+	if existed {
+		t.record(undoRec{op: undoSetPass, a: old, tk: tk})
+		t.decPass(old)
+		t.markIdx(2 * old)
+	} else {
+		t.record(undoRec{op: undoNewPass, tk: tk})
+	}
+	t.incPass(f)
+	b.Pass[tk] = f
+	t.fuoccOK = false
+	t.markIdx(2 * f)
+	t.markReg(tk.ToReg)
+}
+
+// UnbindPass removes the pass-through binding of tk (move F5),
+// reporting whether it existed.
+func (t *Tx) UnbindPass(tk TransferKey) bool {
+	b := t.b
+	f, ok := b.Pass[tk]
+	if !ok {
+		return false
+	}
+	t.record(undoRec{op: undoDelPass, a: f, tk: tk})
+	t.decPass(f)
+	delete(b.Pass, tk)
+	t.fuoccOK = false
+	t.markIdx(2 * f)
+	t.markReg(tk.ToReg)
+	return true
+}
+
+// PrunePass removes pass-through bindings whose transfer no longer
+// exists or whose FU is no longer free — the transactional counterpart
+// of Binding.PrunePass, with undo logging and dirty marking.
+func (t *Tx) PrunePass() int {
+	occ, err := t.FUOcc()
+	if err != nil {
+		// Leave pruning to Check; occupancy conflicts are a bug upstream.
+		return 0
+	}
+	n := 0
+	//lint:maporder the pruned set is determined against one occupancy snapshot and is order-free
+	for tk, f := range t.b.Pass {
+		bad := t.b.checkTransfer(tk) != nil
+		if !bad {
+			step := t.b.transferStep(tk)
+			if !t.b.FUPassFree(occ, f, step, tk) {
+				bad = true
+			}
+		}
+		if bad {
+			t.UnbindPass(tk)
+			n++
+		}
+	}
+	return n
+}
+
+// --- occupancy caches ---
+
+// Occ returns the register occupancy of the current state, rebuilding
+// the reused buffer only when a mutation invalidated it. The returned
+// table aliases the transaction's buffer: it is valid until the next
+// mutation-then-Occ sequence, and movers that mutate mid-scan observe
+// the pre-move snapshot exactly as the clone-based path did.
+func (t *Tx) Occ() ([][]lifetime.ValueID, error) {
+	if !t.occOK {
+		if err := t.b.regOccupancyInto(t.occBuf); err != nil {
+			return nil, err
+		}
+		t.occOK = true
+	}
+	return t.occBuf, nil
+}
+
+// OccLegal reports whether the current register assignment is
+// conflict-free — the transactional form of the movers' RegOccupancy
+// legality probe.
+func (t *Tx) OccLegal() error {
+	_, err := t.Occ()
+	return err
+}
+
+// FUOcc returns the FU occupancy of the current state through the same
+// reused-buffer discipline as Occ.
+func (t *Tx) FUOcc() (*FUOccupancy, error) {
+	if !t.fuoccOK {
+		if err := t.b.fuOccupancyInto(&t.fuocc); err != nil {
+			return nil, err
+		}
+		t.fuoccOK = true
+	}
+	return &t.fuocc, nil
+}
+
+// --- incremental cost ---
+
+// Cost assembles the current cost from the incrementally maintained
+// terms. It is only meaningful on an incremental Tx whose dirty sinks
+// have been replayed (i.e. after DeltaCost or on a clean baseline).
+func (t *Tx) Cost() Cost {
+	c := Cost{
+		FUsUsed:  t.fusUsed,
+		FUArea:   t.fuArea,
+		RegsUsed: t.regsUsed,
+		MuxCost:  t.ct.Total(),
+	}
+	c.Total = c.FUArea + t.b.Cfg.Wreg*c.RegsUsed + t.b.Cfg.Wmux*c.MuxCost
+	return c
+}
+
+// DeltaCost replays every dirty sink against the mutated binding,
+// journaling the overwritten contributions, and returns the move's
+// resulting cost. An error reproduces exactly the Eval error the
+// clone-based path would have hit (a sink needing two sources in one
+// step); the caller rolls back or aborts just as it would there.
+func (t *Tx) DeltaCost() (Cost, error) {
+	for _, idx := range t.dirtyList {
+		c, err := t.replaySink(idx)
+		if err != nil {
+			return Cost{}, err
+		}
+		old := t.ct.Set(idx, c)
+		t.costUndo = append(t.costUndo, costRec{idx: idx, old: old})
+	}
+	return t.Cost(), nil
+}
+
+// replaySink rebuilds one sink's fanin from scratch by replaying its
+// use-events in Eval's global order and returns its mux contribution.
+func (t *Tx) replaySink(idx int) (int, error) {
+	sink := t.ct.SinkOf(idx)
+	ns := &t.ns
+	ns.Reset()
+	var err error
+	switch sink.Kind {
+	case datapath.SinkFUPort:
+		err = t.replayFUPort(sink, ns)
+	case datapath.SinkReg:
+		// The occupancy table inverts HeldIn: one pass over this
+		// register's column recovers every (value, position) it holds,
+		// replacing the all-values HeldIn scan (two map probes per
+		// position) with O(StorageSteps) array reads. On an occupancy
+		// conflict — which full Eval would not detect — fall back to
+		// the HeldIn-based replay so error behavior stays byte-
+		// identical to the clone path.
+		if !t.occOK {
+			if t.b.regOccupancyInto(t.occBuf) == nil {
+				t.occOK = true
+			}
+		}
+		if t.occOK {
+			err = t.replayRegOcc(sink, ns)
+		} else {
+			err = t.replayReg(sink, ns)
+		}
+	case datapath.SinkOutput:
+		err = t.replayOutput(sink, ns)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return ns.MuxCost(), nil
+}
+
+// pickHolderScratch mirrors Eval's pickHolder against the scratch net:
+// prefer a holder already connected to the sink, else the primary.
+func (t *Tx) pickHolderScratch(v lifetime.ValueID, k int, ns *datapath.NetScratch) int {
+	b := t.b
+	primary := b.SegReg[v][k]
+	if ns.Has(datapath.Source{Kind: datapath.SrcReg, Index: primary}) {
+		return primary
+	}
+	for _, c := range b.Copies[SegKey{v, k}] {
+		if ns.Has(datapath.Source{Kind: datapath.SrcReg, Index: c}) {
+			return c
+		}
+	}
+	return primary
+}
+
+// operandSrc mirrors Eval's operandSource with scratch-net resolution.
+func (t *Tx) operandSrc(arg cdfg.NodeID, step int, ns *datapath.NetScratch) (datapath.Source, error) {
+	b := t.b
+	g := b.A.Sched.G
+	an := &g.Nodes[arg]
+	switch {
+	case an.Op == cdfg.Const:
+		return datapath.Source{Kind: datapath.SrcConst, Index: int(arg)}, nil
+	case an.Op == cdfg.Input && b.A.ValueOf[arg] == lifetime.NoValue:
+		return datapath.Source{Kind: datapath.SrcInput, Index: b.inputIndex[arg]}, nil
+	default:
+		vid := b.A.ValueOf[arg]
+		if vid == lifetime.NoValue {
+			return datapath.Source{}, fmt.Errorf("binding: node %s is not a storage value", an.Name)
+		}
+		v := &b.A.Values[vid]
+		k, ok := v.LiveAt(step, b.A.StorageSteps)
+		if !ok {
+			return datapath.Source{}, fmt.Errorf("binding: %s read at step %d outside live range", v.Name, step)
+		}
+		r := t.pickHolderScratch(vid, k, ns)
+		if r < 0 {
+			return datapath.Source{}, fmt.Errorf("binding: value %s has unassigned segment %d", v.Name, k)
+		}
+		return datapath.Source{Kind: datapath.SrcReg, Index: r}, nil
+	}
+}
+
+// replayFUPort replays one FU input port: operand reads of the ops
+// bound to the unit in node order (Eval's first phase), then — on port
+// 0 — pass-through reads in Eval's value/position order.
+func (t *Tx) replayFUPort(sink datapath.Sink, ns *datapath.NetScratch) error {
+	b := t.b
+	g := b.A.Sched.G
+	s := b.A.Sched
+	f, port := sink.Index, sink.Port
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.Op.IsArith() || b.OpFU[i] != f {
+			continue
+		}
+		argPort := port
+		if b.OpSwap[i] {
+			argPort = 1 - port
+		}
+		step := s.Start[i]
+		src, err := t.operandSrc(n.Args[argPort], step, ns)
+		if err != nil {
+			return err
+		}
+		if err := ns.Add(sink, src, step); err != nil {
+			return err
+		}
+	}
+	if port != 0 {
+		return nil
+	}
+	// Pass-through input reads. Eval visits them value-ascending, chain
+	// position ascending, holder position ascending; sort the unit's
+	// live transfers into that order before replaying. Stale entries
+	// whose transfer no longer exists are skipped exactly as Eval's
+	// holder walk never reaches them.
+	t.passTmp = t.passTmp[:0]
+	//lint:maporder entries are sorted into Eval's deterministic visit order before use
+	for tk, pf := range b.Pass {
+		if pf != f {
+			continue
+		}
+		v := &b.A.Values[tk.V]
+		if tk.K < 1 || tk.K >= v.Len ||
+			!b.HeldIn(tk.V, tk.K, tk.ToReg) || b.HeldIn(tk.V, tk.K-1, tk.ToReg) {
+			continue
+		}
+		t.passTmp = append(t.passTmp, passEv{tk: tk, pos: t.holderPos(tk)})
+	}
+	sortPassEvs(t.passTmp)
+	for _, pe := range t.passTmp {
+		v := &b.A.Values[pe.tk.V]
+		tstep := v.StepAt(pe.tk.K-1, b.A.StorageSteps)
+		from := t.pickHolderScratch(pe.tk.V, pe.tk.K-1, ns)
+		if from < 0 {
+			return fmt.Errorf("binding: value %s has unassigned segment %d", v.Name, pe.tk.K-1)
+		}
+		if err := ns.Add(sink, datapath.Source{Kind: datapath.SrcReg, Index: from}, tstep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// holderPos returns the position of tk.ToReg in HoldersAt(tk.V, tk.K):
+// 0 for the primary register, 1+i for the i-th copy.
+func (t *Tx) holderPos(tk TransferKey) int {
+	if t.b.SegReg[tk.V][tk.K] == tk.ToReg {
+		return 0
+	}
+	for i, c := range t.b.Copies[SegKey{tk.V, tk.K}] {
+		if c == tk.ToReg {
+			return i + 1
+		}
+	}
+	return 1 << 30
+}
+
+func sortPassEvs(evs []passEv) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && lessPassEv(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+func lessPassEv(a, b passEv) bool {
+	if a.tk.V != b.tk.V {
+		return a.tk.V < b.tk.V
+	}
+	if a.tk.K != b.tk.K {
+		return a.tk.K < b.tk.K
+	}
+	return a.pos < b.pos
+}
+
+// replayOutput replays one external output port's single read.
+func (t *Tx) replayOutput(sink datapath.Sink, ns *datapath.NetScratch) error {
+	b := t.b
+	g := b.A.Sched.G
+	s := b.A.Sched
+	n := t.outNode[sink.Index]
+	step := s.Start[n]
+	if g.Cyclic {
+		step %= s.Steps
+	}
+	src, err := t.operandSrc(g.Nodes[n].Args[0], step, ns)
+	if err != nil {
+		return err
+	}
+	return ns.Add(sink, src, step)
+}
+
+// replayReg replays one register's write events: for each value in ID
+// order, the birth write when the register holds chain position 0, then
+// the incoming transfer at each later position it holds without having
+// held the previous one — exactly Eval's third phase restricted to this
+// sink.
+func (t *Tx) replayReg(sink datapath.Sink, ns *datapath.NetScratch) error {
+	b := t.b
+	r := sink.Index
+	for i := range b.A.Values {
+		v := &b.A.Values[i]
+		vid := v.ID
+		if b.HeldIn(vid, 0, r) {
+			if err := t.emitBirth(sink, v, ns); err != nil {
+				return err
+			}
+		}
+		for k := 1; k < v.Len; k++ {
+			if !b.HeldIn(vid, k, r) || b.HeldIn(vid, k-1, r) {
+				continue
+			}
+			if err := t.emitTransfer(sink, v, k, r, ns); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replayRegOcc is replayReg driven by the occupancy table: the
+// register's column lists exactly the (value, position) pairs HeldIn
+// would report, so sorting them into (value, position) order and
+// checking adjacency for the held-previous-position test reproduces
+// the HeldIn scan without any map probes. Requires t.occOK.
+func (t *Tx) replayRegOcc(sink datapath.Sink, ns *datapath.NetScratch) error {
+	b := t.b
+	ss := b.A.StorageSteps
+	col := t.occBuf[sink.Index]
+	t.segTmp = t.segTmp[:0]
+	for step, vid := range col {
+		if vid == lifetime.NoValue {
+			continue
+		}
+		k := step - b.A.Values[vid].Birth
+		if k < 0 {
+			k += ss
+		}
+		t.segTmp = append(t.segTmp, segPos{v: vid, k: k})
+	}
+	sortSegPos(t.segTmp)
+	for i, sp := range t.segTmp {
+		v := &b.A.Values[sp.v]
+		if sp.k == 0 {
+			if err := t.emitBirth(sink, v, ns); err != nil {
+				return err
+			}
+			continue
+		}
+		// Held at k-1 too ⇔ the sorted list's previous entry is (v, k-1).
+		if i > 0 && t.segTmp[i-1].v == sp.v && t.segTmp[i-1].k == sp.k-1 {
+			continue
+		}
+		if err := t.emitTransfer(sink, v, sp.k, sink.Index, ns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortSegPos(sp []segPos) {
+	for i := 1; i < len(sp); i++ {
+		for j := i; j > 0 && (sp[j].v < sp[j-1].v ||
+			(sp[j].v == sp[j-1].v && sp[j].k < sp[j-1].k)); j-- {
+			sp[j], sp[j-1] = sp[j-1], sp[j]
+		}
+	}
+}
+
+// emitBirth adds value v's producer write into register sink.
+func (t *Tx) emitBirth(sink datapath.Sink, v *lifetime.Value, ns *datapath.NetScratch) error {
+	b := t.b
+	var src datapath.Source
+	if pn := &b.A.Sched.G.Nodes[v.Producer]; pn.Op == cdfg.Input {
+		src = datapath.Source{Kind: datapath.SrcInput, Index: b.inputIndex[v.Producer]}
+	} else {
+		pf := b.OpFU[v.Producer]
+		if pf < 0 {
+			return fmt.Errorf("binding: producer of %s unbound", v.Name)
+		}
+		src = datapath.Source{Kind: datapath.SrcFU, Index: pf}
+	}
+	return ns.Add(sink, src, b.A.WriteStep(v))
+}
+
+// emitTransfer adds the transfer write of (v, k) into register r: from
+// the bound pass-through FU when one exists, else directly from a
+// holder of the previous position picked as Eval would.
+func (t *Tx) emitTransfer(sink datapath.Sink, v *lifetime.Value, k, r int, ns *datapath.NetScratch) error {
+	b := t.b
+	tstep := v.StepAt(k-1, b.A.StorageSteps)
+	if f, viaPass := b.Pass[TransferKey{v.ID, k, r}]; viaPass {
+		return ns.Add(sink, datapath.Source{Kind: datapath.SrcFU, Index: f}, tstep)
+	}
+	from := t.pickHolderScratch(v.ID, k-1, ns)
+	if from < 0 {
+		return fmt.Errorf("binding: value %s has unassigned segment %d", v.Name, k-1)
+	}
+	return ns.Add(sink, datapath.Source{Kind: datapath.SrcReg, Index: from}, tstep)
+}

@@ -58,9 +58,19 @@ type Options struct {
 	// (0, 1); the zero value selects DefaultAnnealCool.
 	AnnealCool float64
 
-	// Paranoid re-validates the binding after every accepted move
-	// (tests only; slows allocation down).
+	// Paranoid re-validates the binding after every accepted move and,
+	// on the incremental path, asserts the delta cost of every accepted
+	// move equals a from-scratch evaluation (tests only; slows
+	// allocation down).
 	Paranoid bool
+
+	// CloneEval switches the inner move loop back to the legacy
+	// clone-and-reevaluate path: every candidate move is applied to a
+	// fresh clone and costed with a full evaluation. The default
+	// in-place transactional path is byte-identical and much faster;
+	// the clone path is kept as the differential reference the
+	// crosscheck pipeline and fuzzers compare against.
+	CloneEval bool
 
 	// Initial, when set, warm-starts improvement from an existing legal
 	// binding (e.g. a traditional-model result) instead of running the
@@ -221,6 +231,7 @@ func withDefaults(o Options) Options {
 	d.EnableSplit = o.EnableSplit
 	d.Anneal = o.Anneal
 	d.Paranoid = o.Paranoid
+	d.CloneEval = o.CloneEval
 	d.Initial = o.Initial
 	if o.AnnealT0 != 0 {
 		d.AnnealT0 = o.AnnealT0

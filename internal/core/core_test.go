@@ -314,10 +314,12 @@ func TestMoveKindsAllFire(t *testing.T) {
 	m := newMover(b, opts, rng)
 	fired := make(map[moveKind]int)
 	cur := b
+	tx := binding.NewScratchTx(cur)
 	for i := 0; i < 4000; i++ {
 		kind := m.pickKind()
 		cand := cur.Clone()
-		if !m.apply(cand, kind) {
+		tx.Retarget(cand)
+		if !m.apply(tx, kind) {
 			continue
 		}
 		if err := cand.Check(); err != nil {

@@ -8,9 +8,10 @@ import (
 )
 
 // cancelCheckStride is how many moves pass between context polls; a
-// move costs a full clone + evaluation, so checking every few moves
-// keeps cancellation latency in the microseconds without measurable
-// overhead on the hot path.
+// move costs at most a few dirty-sink replays (or a clone plus full
+// evaluation on the reference path), so checking every few moves keeps
+// cancellation latency in the microseconds without measurable overhead
+// on the hot path.
 const cancelCheckStride = 32
 
 // improve runs the paper's iterative improvement scheme (§4): several
@@ -20,6 +21,14 @@ const cancelCheckStride = 32
 // new neighborhood), after which only downhill moves are taken. The
 // best allocation seen anywhere is recorded and returned. The search
 // stops after StallTrials successive trials without improvement.
+//
+// Moves run as in-place transactions: the mover mutates the current
+// binding through a binding.Tx, the cost delta is recomputed from only
+// the sinks the move perturbed, and rejected moves roll back. With
+// opts.CloneEval the legacy clone-and-reevaluate path runs instead —
+// the same mover code against a scratch transaction on a fresh clone,
+// so both paths draw identical random sequences and produce
+// byte-identical results (the crosscheck pipeline asserts this).
 //
 // With opts.Anneal the acceptance rule switches to simulated annealing
 // (Metropolis criterion with geometric cooling by opts.AnnealCool
@@ -40,6 +49,16 @@ func improve(b *binding.Binding, initCost binding.Cost, opts Options, ctl *Contr
 	best := b.Clone()
 	bestCost := initCost
 
+	var tx *binding.Tx
+	var err error
+	if opts.CloneEval {
+		tx = binding.NewScratchTx(cur)
+	} else {
+		if tx, err = binding.NewTx(cur); err != nil {
+			return nil, fmt.Errorf("core: initial allocation unevaluable: %w", err)
+		}
+	}
+
 	stop := StopNatural
 	trials, tried, accepted := 0, 0, 0
 	stall := 0
@@ -56,6 +75,11 @@ search:
 			// the uphill quota explores around it instead of drifting.
 			cur = best.Clone()
 			curCost = bestCost
+			if !opts.CloneEval {
+				if err := tx.Reset(cur); err != nil {
+					return nil, fmt.Errorf("core: trial restart unevaluable: %w", err)
+				}
+			}
 		}
 		uphillLeft := opts.UphillQuota
 		improved := false
@@ -65,16 +89,34 @@ search:
 				break search
 			}
 			tried++
-			cand := cur.Clone()
-			if !mv.apply(cand, mv.pickKind()) {
-				continue
+			kind := mv.pickKind()
+
+			var cand *binding.Binding
+			var cost binding.Cost
+			if opts.CloneEval {
+				cand = cur.Clone()
+				tx.Retarget(cand)
+				if !mv.apply(tx, kind) {
+					continue
+				}
+				var err error
+				if _, cost, err = cand.Eval(); err != nil {
+					// A move produced an unevaluable binding: a bug, not
+					// a search dead end.
+					return nil, fmt.Errorf("core: move produced illegal binding: %w", err)
+				}
+			} else {
+				tx.Begin()
+				if !mv.apply(tx, kind) {
+					tx.Rollback()
+					continue
+				}
+				var err error
+				if cost, err = tx.DeltaCost(); err != nil {
+					return nil, fmt.Errorf("core: move produced illegal binding: %w", err)
+				}
 			}
-			_, cost, err := cand.Eval()
-			if err != nil {
-				// A move produced an unevaluable binding: a bug, not a
-				// search dead end.
-				return nil, fmt.Errorf("core: move produced illegal binding: %w", err)
-			}
+
 			accept := false
 			switch {
 			case cost.Total <= curCost.Total:
@@ -87,18 +129,37 @@ search:
 				accept = true
 			}
 			if !accept {
+				if !opts.CloneEval {
+					tx.Rollback()
+				}
 				continue
 			}
+			if opts.CloneEval {
+				cur = cand
+			} else {
+				tx.Commit()
+			}
 			if opts.Paranoid {
-				if err := cand.Check(); err != nil {
+				if err := cur.Check(); err != nil {
 					return nil, fmt.Errorf("core: accepted illegal binding: %w", err)
+				}
+				if !opts.CloneEval {
+					// The tentpole invariant: the incrementally
+					// maintained cost of every accepted move must equal
+					// a from-scratch evaluation.
+					_, full, err := cur.Eval()
+					if err != nil {
+						return nil, fmt.Errorf("core: accepted unevaluable binding: %w", err)
+					}
+					if full != cost {
+						return nil, fmt.Errorf("core: move %v: delta cost %+v != full evaluation %+v", kind, cost, full)
+					}
 				}
 			}
 			accepted++
-			cur = cand
 			curCost = cost
 			if cost.Total < bestCost.Total {
-				best = cand.Clone()
+				best = cur.Clone()
 				bestCost = cost
 				improved = true
 			}

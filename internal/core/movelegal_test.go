@@ -28,6 +28,7 @@ func TestMoveKindsPreserveLegality(t *testing.T) {
 	rng := newRNG(opts.Seed)
 	mv := newMover(base, opts, rng)
 	fired := make(map[moveKind]int)
+	tx := binding.NewScratchTx(base)
 
 	// Warm the base with a mixed walk: the initial allocation holds
 	// every value in one register, so transfer-dependent moves (F4/F5)
@@ -35,7 +36,8 @@ func TestMoveKindsPreserveLegality(t *testing.T) {
 	for i := 0; i < 1500; i++ {
 		kind := mv.pickKind()
 		nb := base.Clone()
-		if !mv.apply(nb, kind) {
+		tx.Retarget(nb)
+		if !mv.apply(tx, kind) {
 			continue
 		}
 		fired[kind]++
@@ -49,7 +51,8 @@ func TestMoveKindsPreserveLegality(t *testing.T) {
 		cur := base.Clone()
 		for i := 0; i < 200; i++ {
 			nb := cur.Clone()
-			if !mv.apply(nb, kind) {
+			tx.Retarget(nb)
+			if !mv.apply(tx, kind) {
 				continue
 			}
 			fired[kind]++
@@ -85,10 +88,12 @@ func TestMixedWalkStaysLegal(t *testing.T) {
 	}
 	rng := newRNG(opts.Seed)
 	mv := newMover(cur, opts, rng)
+	tx := binding.NewScratchTx(cur)
 	applied := 0
 	for i := 0; i < 600; i++ {
 		nb := cur.Clone()
-		if !mv.apply(nb, mv.pickKind()) {
+		tx.Retarget(nb)
+		if !mv.apply(tx, mv.pickKind()) {
 			continue
 		}
 		applied++

@@ -52,9 +52,12 @@ var moveWeights = [numMoveKinds]int{
 	moveValueMerge:     4,
 }
 
-// mover bundles the binding under mutation with cached lookups.
+// mover bundles the random move generator with cached lookups. Moves
+// mutate the target binding exclusively through its transaction, so the
+// incremental search can undo a rejected move and the clone-based
+// reference path can drive the identical code (and identical random
+// sequence) against a scratch transaction.
 type mover struct {
-	b    *binding.Binding
 	rng  *rand.Rand
 	opts Options
 
@@ -64,10 +67,13 @@ type mover struct {
 	enabled    []moveKind
 	weightsSum int
 	weights    []int
+
+	// tkBuf is reused across moves for deterministic map-key collection.
+	tkBuf []binding.TransferKey
 }
 
 func newMover(b *binding.Binding, opts Options, rng *rand.Rand) *mover {
-	m := &mover{b: b, rng: rng, opts: opts}
+	m := &mover{rng: rng, opts: opts}
 	g := b.A.Sched.G
 	for i := range g.Nodes {
 		if g.Nodes[i].Op.IsArith() {
@@ -114,41 +120,42 @@ func (m *mover) pickKind() moveKind {
 	return m.enabled[len(m.enabled)-1]
 }
 
-// apply mutates nb (a clone of the current binding) with one random
-// instance of kind. It reports whether a mutation happened; callers
-// evaluate and accept/reject.
-func (m *mover) apply(nb *binding.Binding, kind moveKind) bool {
+// apply mutates the transaction's binding with one random instance of
+// kind. It reports whether a mutation happened; callers evaluate and
+// accept, or roll the transaction back.
+func (m *mover) apply(tx *binding.Tx, kind moveKind) bool {
 	switch kind {
 	case moveFUExchange:
-		return m.fuExchange(nb)
+		return m.fuExchange(tx)
 	case moveFUMove:
-		return m.fuMove(nb)
+		return m.fuMove(tx)
 	case moveOperandReverse:
-		return m.operandReverse(nb)
+		return m.operandReverse(tx)
 	case moveBindPass:
-		return m.bindPass(nb)
+		return m.bindPass(tx)
 	case moveUnbindPass:
-		return m.unbindPass(nb)
+		return m.unbindPass(tx)
 	case moveSegExchange:
-		return m.segExchange(nb)
+		return m.segExchange(tx)
 	case moveSegMove:
-		return m.segMove(nb)
+		return m.segMove(tx)
 	case moveValueExchange:
-		return m.valueExchange(nb)
+		return m.valueExchange(tx)
 	case moveValueMove:
-		return m.valueMove(nb)
+		return m.valueMove(tx)
 	case moveValueSplit:
-		return m.valueSplit(nb)
+		return m.valueSplit(tx)
 	case moveValueMerge:
-		return m.valueMerge(nb)
+		return m.valueMerge(tx)
 	}
 	return false
 }
 
 // fuExchange (F1) swaps the complete bindings of two same-class FUs.
-func (m *mover) fuExchange(nb *binding.Binding) bool {
+func (m *mover) fuExchange(tx *binding.Tx) bool {
+	b := tx.B()
 	c := sched.Class(m.rng.Intn(int(sched.NumClasses)))
-	fus := nb.HW.FUsOfClass(c)
+	fus := b.HW.FUsOfClass(c)
 	if len(fus) < 2 {
 		return false
 	}
@@ -158,46 +165,48 @@ func (m *mover) fuExchange(nb *binding.Binding) bool {
 		j++
 	}
 	f1, f2 := fus[i], fus[j]
-	for o := range nb.OpFU {
-		switch nb.OpFU[o] {
+	for o := range b.OpFU {
+		switch b.OpFU[o] {
 		case f1:
-			nb.OpFU[o] = f2
+			tx.SetOpFU(cdfg.NodeID(o), f2)
 		case f2:
-			nb.OpFU[o] = f1
+			tx.SetOpFU(cdfg.NodeID(o), f1)
 		}
 	}
-	for tk, f := range nb.Pass {
+	//lint:maporder each entry is retargeted independently (keyed value updates); the result is order-free
+	for tk, f := range b.Pass {
 		switch f {
 		case f1:
-			nb.Pass[tk] = f2
+			tx.SetPass(tk, f2)
 		case f2:
-			nb.Pass[tk] = f1
+			tx.SetPass(tk, f1)
 		}
 	}
-	nb.PrunePass()
+	tx.PrunePass()
 	return true
 }
 
 // fuMove (F2) reassigns one operator to another unit of its class that
 // is free over the operator's initiation window.
-func (m *mover) fuMove(nb *binding.Binding) bool {
+func (m *mover) fuMove(tx *binding.Tx) bool {
 	// Shrunk oracle cases can be operator-free (only states and ports).
 	if len(m.arithOps) == 0 {
 		return false
 	}
+	b := tx.B()
 	op := m.arithOps[m.rng.Intn(len(m.arithOps))]
-	g := nb.A.Sched.G
-	s := nb.A.Sched
+	g := b.A.Sched.G
+	s := b.A.Sched
 	c := sched.ClassOf(g.Nodes[op].Op)
-	fus := nb.HW.FUsOfClass(c)
+	fus := b.HW.FUsOfClass(c)
 	if len(fus) < 2 {
 		return false
 	}
-	occ, err := nb.FUOccupancy()
+	occ, err := tx.FUOcc()
 	if err != nil {
 		return false
 	}
-	cur := nb.OpFU[op]
+	cur := b.OpFU[op]
 	st := s.Start[op]
 	ii := s.Delays.IIOf(g.Nodes[op].Op)
 	// Random rotation over candidate FUs.
@@ -217,78 +226,81 @@ func (m *mover) fuMove(nb *binding.Binding) bool {
 		if !free {
 			continue
 		}
-		nb.OpFU[op] = f
-		nb.PrunePass() // passes on f may now clash with the new op
+		tx.SetOpFU(op, f)
+		tx.PrunePass() // passes on f may now clash with the new op
 		return true
 	}
 	return false
 }
 
 // operandReverse (F3) flips the input order of one commutative operator.
-func (m *mover) operandReverse(nb *binding.Binding) bool {
+func (m *mover) operandReverse(tx *binding.Tx) bool {
 	if len(m.commOps) == 0 {
 		return false
 	}
-	op := m.commOps[m.rng.Intn(len(m.commOps))]
-	nb.OpSwap[op] = !nb.OpSwap[op]
+	tx.FlipSwap(m.commOps[m.rng.Intn(len(m.commOps))])
 	return true
 }
 
 // bindPass (F4) assigns a slack operator (data transfer) to an idle
 // pass-capable FU.
-func (m *mover) bindPass(nb *binding.Binding) bool {
-	transfers := nb.Transfers()
+func (m *mover) bindPass(tx *binding.Tx) bool {
+	b := tx.B()
+	transfers := b.Transfers()
 	if len(transfers) == 0 {
 		return false
 	}
-	occ, err := nb.FUOccupancy()
+	occ, err := tx.FUOcc()
 	if err != nil {
 		return false
 	}
 	off := m.rng.Intn(len(transfers))
 	for d := 0; d < len(transfers); d++ {
 		tk := transfers[(off+d)%len(transfers)]
-		if _, bound := nb.Pass[tk]; bound {
+		if _, bound := b.Pass[tk]; bound {
 			continue
 		}
-		t := nb.A.Values[tk.V].StepAt(tk.K-1, nb.A.StorageSteps)
+		t := b.A.Values[tk.V].StepAt(tk.K-1, b.A.StorageSteps)
 		var cands []int
-		for f := range nb.HW.FUs {
-			if nb.FUPassFree(occ, f, t, tk) {
+		for f := range b.HW.FUs {
+			if b.FUPassFree(occ, f, t, tk) {
 				cands = append(cands, f)
 			}
 		}
 		if len(cands) == 0 {
 			continue
 		}
-		nb.Pass[tk] = cands[m.rng.Intn(len(cands))]
+		tx.SetPass(tk, cands[m.rng.Intn(len(cands))])
 		return true
 	}
 	return false
 }
 
 // unbindPass (F5) removes one pass-through binding.
-func (m *mover) unbindPass(nb *binding.Binding) bool {
-	if len(nb.Pass) == 0 {
+func (m *mover) unbindPass(tx *binding.Tx) bool {
+	b := tx.B()
+	if len(b.Pass) == 0 {
 		return false
 	}
 	// Deterministic selection from the map: collect and sort by key.
-	keys := make([]binding.TransferKey, 0, len(nb.Pass))
-	for tk := range nb.Pass {
-		keys = append(keys, tk)
+	m.tkBuf = m.tkBuf[:0]
+	//lint:maporder keys are sorted before the random draw
+	for tk := range b.Pass {
+		m.tkBuf = append(m.tkBuf, tk)
 	}
-	sortTransferKeys(keys)
-	delete(nb.Pass, keys[m.rng.Intn(len(keys))])
+	sortTransferKeys(m.tkBuf)
+	tx.UnbindPass(m.tkBuf[m.rng.Intn(len(m.tkBuf))])
 	return true
 }
 
 // segExchange (R1) swaps the registers of two segments in one step.
-func (m *mover) segExchange(nb *binding.Binding) bool {
-	occ, err := nb.RegOccupancy()
+func (m *mover) segExchange(tx *binding.Tx) bool {
+	b := tx.B()
+	occ, err := tx.Occ()
 	if err != nil {
 		return false
 	}
-	t := m.rng.Intn(nb.A.StorageSteps)
+	t := m.rng.Intn(b.A.StorageSteps)
 	var regs []int
 	for r := range occ {
 		if occ[r][t] != lifetime.NoValue {
@@ -308,24 +320,25 @@ func (m *mover) segExchange(nb *binding.Binding) bool {
 	if v1 == v2 {
 		return false // two copies of one value: swapping is a no-op
 	}
-	m.rebindHolder(nb, v1, t, r1, r2)
-	m.rebindHolder(nb, v2, t, r2, r1)
-	nb.PrunePass()
+	m.rebindHolder(tx, v1, t, r1, r2)
+	m.rebindHolder(tx, v2, t, r2, r1)
+	tx.PrunePass()
 	return true
 }
 
 // rebindHolder changes which register holds value v at step t: from -> to.
-func (m *mover) rebindHolder(nb *binding.Binding, v lifetime.ValueID, t, from, to int) {
-	k, ok := nb.A.Values[v].LiveAt(t, nb.A.StorageSteps)
+func (m *mover) rebindHolder(tx *binding.Tx, v lifetime.ValueID, t, from, to int) {
+	b := tx.B()
+	k, ok := b.A.Values[v].LiveAt(t, b.A.StorageSteps)
 	if !ok {
 		return
 	}
-	if nb.SegReg[v][k] == from {
-		nb.SegReg[v][k] = to
+	if b.SegReg[v][k] == from {
+		tx.SetSegReg(v, k, to)
 		return
 	}
-	if nb.RemoveCopy(v, k, from) {
-		nb.AddCopy(v, k, to)
+	if tx.RemoveCopy(v, k, from) {
+		tx.AddCopy(v, k, to)
 	}
 }
 
@@ -334,18 +347,19 @@ func (m *mover) rebindHolder(nb *binding.Binding, v lifetime.ValueID, t, from, t
 // whole suffix of the chain starting at a random position, which
 // introduces exactly one new transfer and is how a value migrates
 // registers mid-life in the extended model.
-func (m *mover) segMove(nb *binding.Binding) bool {
+func (m *mover) segMove(tx *binding.Tx) bool {
 	if len(m.valueIDs) == 0 {
 		return false
 	}
-	occ, err := nb.RegOccupancy()
+	b := tx.B()
+	occ, err := tx.Occ()
 	if err != nil {
 		return false
 	}
 	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
-	val := &nb.A.Values[v]
+	val := &b.A.Values[v]
 	k := m.rng.Intn(val.Len)
-	t := val.StepAt(k, nb.A.StorageSteps)
+	t := val.StepAt(k, b.A.StorageSteps)
 	var free []int
 	for r := range occ {
 		if occ[r][t] == lifetime.NoValue {
@@ -359,116 +373,123 @@ func (m *mover) segMove(nb *binding.Binding) bool {
 
 	if m.rng.Intn(3) > 0 {
 		// Suffix move: primary segments k..Len-1 all go to `to`,
-		// stopping early if `to` is occupied by another value.
+		// stopping early if `to` is occupied by another value. The
+		// occupancy snapshot is pre-move by construction (the buffer is
+		// only refilled on the next Occ call).
 		moved := 0
 		for kk := k; kk < val.Len; kk++ {
-			tt := val.StepAt(kk, nb.A.StorageSteps)
+			tt := val.StepAt(kk, b.A.StorageSteps)
 			holder := occ[to][tt]
 			if holder != lifetime.NoValue && holder != v {
 				break
 			}
-			if nb.SegReg[v][kk] == to {
+			if b.SegReg[v][kk] == to {
 				break // already there: joining an existing tail
 			}
 			// Drop a colliding copy of v itself before taking the slot.
-			nb.RemoveCopy(v, kk, to)
-			nb.SegReg[v][kk] = to
+			tx.RemoveCopy(v, kk, to)
+			tx.SetSegReg(v, kk, to)
 			moved++
 		}
 		if moved == 0 {
 			return false
 		}
-		nb.PrunePass()
+		tx.PrunePass()
 		return true
 	}
 
 	// Single-segment move of the primary, or of a copy half the time
 	// when one exists.
-	holders := nb.HoldersAt(v, k)
+	holders := b.HoldersAt(v, k)
 	from := holders[0]
 	if len(holders) > 1 && m.rng.Intn(2) == 0 {
 		from = holders[1+m.rng.Intn(len(holders)-1)]
 	}
-	m.rebindHolder(nb, v, t, from, to)
-	nb.PrunePass()
+	m.rebindHolder(tx, v, t, from, to)
+	tx.PrunePass()
 	return true
 }
 
 // valueExchange (R3) swaps the primary register bindings of two values
 // wherever both are live; rejected if the result is illegal.
-func (m *mover) valueExchange(nb *binding.Binding) bool {
+func (m *mover) valueExchange(tx *binding.Tx) bool {
 	if len(m.valueIDs) < 2 {
 		return false
 	}
+	b := tx.B()
 	i := m.rng.Intn(len(m.valueIDs))
 	j := m.rng.Intn(len(m.valueIDs) - 1)
 	if j >= i {
 		j++
 	}
 	v1, v2 := m.valueIDs[i], m.valueIDs[j]
-	val1, val2 := &nb.A.Values[v1], &nb.A.Values[v2]
+	val1, val2 := &b.A.Values[v1], &b.A.Values[v2]
 	if !m.opts.EnableSegments {
 		// Whole-value semantics: swap the two registers wholesale so
 		// contiguity is preserved under the traditional model.
-		r1, r2 := nb.SegReg[v1][0], nb.SegReg[v2][0]
+		r1, r2 := b.SegReg[v1][0], b.SegReg[v2][0]
 		if r1 == r2 {
 			return false
 		}
-		for k := range nb.SegReg[v1] {
-			nb.SegReg[v1][k] = r2
+		for k := range b.SegReg[v1] {
+			tx.SetSegReg(v1, k, r2)
 		}
-		for k := range nb.SegReg[v2] {
-			nb.SegReg[v2][k] = r1
+		for k := range b.SegReg[v2] {
+			tx.SetSegReg(v2, k, r1)
 		}
 	} else {
 		for k := 0; k < val1.Len; k++ {
-			t := val1.StepAt(k, nb.A.StorageSteps)
-			if k2, ok := val2.LiveAt(t, nb.A.StorageSteps); ok {
-				nb.SegReg[v1][k], nb.SegReg[v2][k2] = nb.SegReg[v2][k2], nb.SegReg[v1][k]
+			t := val1.StepAt(k, b.A.StorageSteps)
+			if k2, ok := val2.LiveAt(t, b.A.StorageSteps); ok {
+				r1, r2 := b.SegReg[v1][k], b.SegReg[v2][k2]
+				tx.SetSegReg(v1, k, r2)
+				tx.SetSegReg(v2, k2, r1)
 			}
 		}
 	}
-	if _, err := nb.RegOccupancy(); err != nil {
-		return false // engine discards the clone
+	if tx.OccLegal() != nil {
+		return false // caller rolls the transaction back
 	}
-	nb.PrunePass()
+	tx.PrunePass()
 	return true
 }
 
 // valueMove (R4) reassigns all segments of one value to a single
 // register; rejected if the register is not free across the lifetime.
-func (m *mover) valueMove(nb *binding.Binding) bool {
+func (m *mover) valueMove(tx *binding.Tx) bool {
 	if len(m.valueIDs) == 0 {
 		return false
 	}
+	b := tx.B()
 	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
-	r := m.rng.Intn(len(nb.HW.Regs))
-	val := &nb.A.Values[v]
+	r := m.rng.Intn(len(b.HW.Regs))
+	val := &b.A.Values[v]
 	for k := 0; k < val.Len; k++ {
 		// Drop copies that would collide with the new primary.
-		nb.RemoveCopy(v, k, r)
-		nb.SegReg[v][k] = r
+		tx.RemoveCopy(v, k, r)
+		tx.SetSegReg(v, k, r)
 	}
-	if _, err := nb.RegOccupancy(); err != nil {
+	if tx.OccLegal() != nil {
 		return false
 	}
-	nb.PrunePass()
+	tx.PrunePass()
 	return true
 }
 
 // valueSplit (R5) stores a copy of one value segment in a free register.
-func (m *mover) valueSplit(nb *binding.Binding) bool {
+func (m *mover) valueSplit(tx *binding.Tx) bool {
 	if len(m.valueIDs) == 0 {
 		return false
 	}
-	occ, err := nb.RegOccupancy()
+	b := tx.B()
+	occ, err := tx.Occ()
 	if err != nil {
 		return false
 	}
 	v := m.valueIDs[m.rng.Intn(len(m.valueIDs))]
-	val := &nb.A.Values[v]
+	val := &b.A.Values[v]
 	k := m.rng.Intn(val.Len)
-	t := val.StepAt(k, nb.A.StorageSteps)
+	t := val.StepAt(k, b.A.StorageSteps)
 	var free []int
 	for r := range occ {
 		if occ[r][t] == lifetime.NoValue {
@@ -478,16 +499,17 @@ func (m *mover) valueSplit(nb *binding.Binding) bool {
 	if len(free) == 0 {
 		return false
 	}
-	nb.AddCopy(v, k, free[m.rng.Intn(len(free))])
+	tx.AddCopy(v, k, free[m.rng.Intn(len(free))])
 	// The copy may erase an adjacent transfer (the value now already
 	// sits in the pass target's register), invalidating its binding.
-	nb.PrunePass()
+	tx.PrunePass()
 	return true
 }
 
 // valueMerge (R6) eliminates one copy segment.
-func (m *mover) valueMerge(nb *binding.Binding) bool {
-	if nb.NumCopies() == 0 {
+func (m *mover) valueMerge(tx *binding.Tx) bool {
+	b := tx.B()
+	if b.NumCopies() == 0 {
 		return false
 	}
 	type copyRef struct {
@@ -496,9 +518,9 @@ func (m *mover) valueMerge(nb *binding.Binding) bool {
 	}
 	var all []copyRef
 	for _, v := range m.valueIDs {
-		val := &nb.A.Values[v]
+		val := &b.A.Values[v]
 		for k := 0; k < val.Len; k++ {
-			for _, r := range nb.Copies[binding.SegKey{V: v, K: k}] {
+			for _, r := range b.Copies[binding.SegKey{V: v, K: k}] {
 				all = append(all, copyRef{binding.SegKey{V: v, K: k}, r})
 			}
 		}
@@ -507,8 +529,8 @@ func (m *mover) valueMerge(nb *binding.Binding) bool {
 		return false
 	}
 	c := all[m.rng.Intn(len(all))]
-	nb.RemoveCopy(c.key.V, c.key.K, c.reg)
-	nb.PrunePass()
+	tx.RemoveCopy(c.key.V, c.key.K, c.reg)
+	tx.PrunePass()
 	return true
 }
 

@@ -16,60 +16,66 @@ import (
 // nothing. The randomized search handles the combinatorial moves; this
 // pass guarantees the cheap single-move optima are never left on the
 // table.
+//
+// Candidates run as transactions on a private working clone: each one
+// is applied in place, costed from its dirty sinks, and rolled back
+// unless it improves — the same delta==full invariant the search's
+// inner loop relies on, so the accepted sequence (and therefore the
+// result) is identical to the historical clone-and-reevaluate sweep.
 func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Binding, binding.Cost, *datapath.Interconnect) {
-	ic, _, err := b.Eval()
+	best := b.Clone()
+	tx, err := binding.NewTx(best)
 	if err != nil {
 		return b, cost, nil
 	}
-	best := b
 	bestCost := cost
-	bestIC := ic
 
-	try := func(cand *binding.Binding) bool {
-		candIC, candCost, err := cand.Eval()
-		if err != nil {
-			return false
-		}
-		if candCost.Total < bestCost.Total {
-			best = cand
+	// try closes the candidate move currently open on tx: commit when
+	// it strictly improves, roll back otherwise. A delta-evaluation
+	// error means the candidate was illegal — discarded exactly as the
+	// clone path discarded candidates whose Eval failed.
+	try := func() bool {
+		candCost, err := tx.DeltaCost()
+		if err == nil && candCost.Total < bestCost.Total {
+			tx.Commit()
 			bestCost = candCost
-			bestIC = candIC
 			return true
 		}
+		tx.Rollback()
 		return false
 	}
 
-	g := b.A.Sched.G
+	g := best.A.Sched.G
 	for sweep := 0; sweep < 20; sweep++ {
 		improved := false
 
 		// Whole-value moves (R4 over every target register).
 		for v := range best.A.Values {
+			vid := best.A.Values[v].ID
 			for r := range best.HW.Regs {
 				if best.SegReg[v][0] == r {
 					continue
 				}
-				cand := best.Clone()
-				ok := true
-				for k := range cand.SegReg[v] {
-					cand.RemoveCopy(cand.A.Values[v].ID, k, r)
-					cand.SegReg[v][k] = r
+				tx.Begin()
+				for k := range best.SegReg[v] {
+					tx.RemoveCopy(vid, k, r)
+					tx.SetSegReg(vid, k, r)
 				}
-				if _, err := cand.RegOccupancy(); err != nil {
-					ok = false
+				if tx.OccLegal() != nil {
+					tx.Rollback()
+					continue
 				}
-				if ok {
-					cand.PrunePass()
-					if try(cand) {
-						improved = true
-					}
+				tx.PrunePass()
+				if try() {
+					improved = true
 				}
 			}
 		}
 
 		// Suffix moves (the extended model's cheapest value-migration
 		// primitive: one new transfer), over every split point and
-		// target register.
+		// target register. The legality pre-probe reads a polish-owned
+		// occupancy snapshot so rejected candidates cannot disturb it.
 		if opts.EnableSegments {
 			occ, err := best.RegOccupancy()
 			if err == nil {
@@ -93,16 +99,17 @@ func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Bindi
 							if !ok {
 								continue
 							}
-							cand := best.Clone()
+							tx.Begin()
 							for kk := k; kk < val.Len; kk++ {
-								cand.RemoveCopy(lifetime.ValueID(v), kk, r)
-								cand.SegReg[v][kk] = r
+								tx.RemoveCopy(val.ID, kk, r)
+								tx.SetSegReg(val.ID, kk, r)
 							}
-							if _, err := cand.RegOccupancy(); err != nil {
+							if tx.OccLegal() != nil {
+								tx.Rollback()
 								continue
 							}
-							cand.PrunePass()
-							if try(cand) {
+							tx.PrunePass()
+							if try() {
 								improved = true
 								occ, err = best.RegOccupancy()
 								if err != nil {
@@ -141,18 +148,18 @@ func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Bindi
 				if !free {
 					continue
 				}
-				cand := best.Clone()
-				cand.OpFU[i] = f
-				cand.PrunePass()
-				if try(cand) {
+				tx.Begin()
+				tx.SetOpFU(cdfg.NodeID(i), f)
+				tx.PrunePass()
+				if try() {
 					improved = true
 					break
 				}
 			}
 			if n.Op.Commutative() {
-				cand := best.Clone()
-				cand.OpSwap[i] = !cand.OpSwap[i]
-				if try(cand) {
+				tx.Begin()
+				tx.FlipSwap(cdfg.NodeID(i))
+				if try() {
 					improved = true
 				}
 			}
@@ -171,9 +178,9 @@ func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Bindi
 						if !best.FUPassFree(occ, f, t, tk) {
 							continue
 						}
-						cand := best.Clone()
-						cand.Pass[tk] = f
-						if try(cand) {
+						tx.Begin()
+						tx.SetPass(tk, f)
+						if try() {
 							improved = true
 							break
 						}
@@ -181,14 +188,15 @@ func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Bindi
 				}
 			}
 			keys := make([]binding.TransferKey, 0, len(best.Pass))
+			//lint:maporder keys are sorted before use
 			for tk := range best.Pass {
 				keys = append(keys, tk)
 			}
 			sortTransferKeys(keys)
 			for _, tk := range keys {
-				cand := best.Clone()
-				delete(cand.Pass, tk)
-				if try(cand) {
+				tx.Begin()
+				tx.UnbindPass(tk)
+				if try() {
 					improved = true
 				}
 			}
@@ -200,10 +208,10 @@ func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Bindi
 				val := &best.A.Values[v]
 				for k := 0; k < val.Len; k++ {
 					for _, r := range append([]int(nil), best.Copies[binding.SegKey{V: val.ID, K: k}]...) {
-						cand := best.Clone()
-						cand.RemoveCopy(val.ID, k, r)
-						cand.PrunePass()
-						if try(cand) {
+						tx.Begin()
+						tx.RemoveCopy(val.ID, k, r)
+						tx.PrunePass()
+						if try() {
 							improved = true
 						}
 					}
@@ -214,6 +222,10 @@ func polish(b *binding.Binding, cost binding.Cost, opts Options) (*binding.Bindi
 		if !improved {
 			break
 		}
+	}
+	bestIC, _, err := best.Eval()
+	if err != nil {
+		return best, bestCost, nil
 	}
 	return best, bestCost, bestIC
 }

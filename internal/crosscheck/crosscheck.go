@@ -13,6 +13,10 @@
 //     both allocations against the CDFG reference semantics;
 //   - the emitted RTL is parsed back and re-simulated at the gate level
 //     (internal/vsim.VerifyBinding);
+//   - the whole extended portfolio is re-run on the legacy
+//     clone-and-reevaluate path (core.Options.CloneEval) and must
+//     reproduce the transactional path's winning binding byte for byte
+//     at identical cost;
 //   - the whole extended portfolio is re-run under a different engine
 //     worker count and must reproduce the winning binding byte for
 //     byte.
@@ -64,6 +68,7 @@ const (
 	StageDpsim       = "dpsim"
 	StageDpsimTrad   = "dpsim-traditional"
 	StageVsim        = "vsim"
+	StageIncremental = "incremental-vs-clone"
 	StageDeterminism = "determinism"
 )
 
@@ -84,6 +89,10 @@ type Config struct {
 	// DisableDeterminism skips the second engine run under a different
 	// worker count (the most expensive stage).
 	DisableDeterminism bool
+	// DisableIncremental skips the clone-path re-run that asserts the
+	// transactional delta-cost search reproduces the legacy
+	// clone-and-reevaluate search byte for byte.
+	DisableIncremental bool
 	// Inject, when non-nil, corrupts a clone of the extended-model
 	// binding before the re-verification stages. It exists so tests and
 	// the salsafuzz -inject flag can prove the oracle catches (and the
@@ -250,6 +259,30 @@ func (cfg Config) Run(seed int64, cs *randgraph.Case) *Report {
 
 	if err := vsim.VerifyBinding(b, zeroStateStimulus(g, seed), iters); err != nil {
 		return fail(StageVsim, "%v", err)
+	}
+
+	if !cfg.DisableIncremental {
+		// The same portfolio on the legacy clone-and-reevaluate path
+		// must retrace the transactional search move for move: the two
+		// draw identical random sequences and the delta cost of every
+		// move equals a full evaluation, so any divergence in the
+		// winning binding or its cost is an incremental-evaluation bug.
+		cloneJobs := make([]engine.Job, len(jobs))
+		copy(cloneJobs, jobs)
+		for i := range cloneJobs {
+			cloneJobs[i].Opts.CloneEval = true
+		}
+		cloneRes, _, err := engine.Run(nil, a, hw, cloneJobs, engine.Config{Workers: 1})
+		if err != nil {
+			return fail(StageIncremental, "clone-path re-run failed: %v", err)
+		}
+		if cloneRes.Cost != salsaRes.Cost {
+			return fail(StageIncremental, "clone path cost %+v, incremental path cost %+v",
+				cloneRes.Cost, salsaRes.Cost)
+		}
+		if f1, f2 := Fingerprint(salsaRes.Binding), Fingerprint(cloneRes.Binding); f1 != f2 {
+			return fail(StageIncremental, "winning binding differs between incremental and clone paths:\n  incremental: %s\n  clone:       %s", f1, f2)
+		}
 	}
 
 	if !cfg.DisableDeterminism {

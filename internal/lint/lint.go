@@ -226,7 +226,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// Suite returns the six project analyzers in their default
+// Suite returns the seven project analyzers in their default
 // configuration, in stable order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
@@ -234,6 +234,7 @@ func Suite() []*Analyzer {
 		Maporder,
 		NewMutguard(DefaultMutguardConfig()),
 		NewMutguard(GraphMutguardConfig()),
+		NewMutguard(CostTableMutguardConfig()),
 		Atomicfield,
 		Checkerr,
 	}

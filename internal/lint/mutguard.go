@@ -30,20 +30,21 @@ type MutguardConfig struct {
 }
 
 // DefaultMutguardConfig guards binding.Binding's bound state. Legal
-// mutation sites are the binding package itself and the designated
-// move layer: core's moves.go (Table-1 moves), initial.go (the
-// constructive start) and polish.go (the deterministic downhill tail).
-// Everything else must go through those layers, so that every mutation
-// path is covered by binding.Check-based legality tests.
+// mutation sites are the binding package itself — which now includes
+// the transaction layer (binding.Tx) every move and polish candidate
+// routes through — and core's initial.go (the constructive start).
+// The historical moves.go and polish.go allowances were retired when
+// those layers switched to transactional mutation: a direct write
+// there would bypass the undo log and desynchronize the incremental
+// cost tables, so the boundary is the compile-time guarantee backing
+// apply/undo exactness.
 func DefaultMutguardConfig() MutguardConfig {
 	return MutguardConfig{
 		GuardedPkgSuffix: "internal/binding",
 		GuardedType:      "Binding",
 		Fields:           []string{"OpFU", "OpSwap", "SegReg", "Copies", "Pass"},
 		AllowedFileSuffixes: []string{
-			"internal/core/moves.go",
 			"internal/core/initial.go",
-			"internal/core/polish.go",
 		},
 	}
 }
@@ -65,6 +66,24 @@ func GraphMutguardConfig() MutguardConfig {
 		Fields:           []string{"Nodes", "Cyclic"},
 		AllowedPkgSuffixes: []string{
 			"internal/randgraph",
+		},
+	}
+}
+
+// CostTableMutguardConfig guards the incremental per-sink cost table
+// (datapath.CostTable). Its entries are journaled by binding.Tx so a
+// rejected move can restore them exactly; a write from any other
+// package would silently corrupt the delta==full-evaluation invariant.
+// Legal mutation sites are the datapath package itself and the binding
+// package, whose transaction layer owns the journaling discipline.
+func CostTableMutguardConfig() MutguardConfig {
+	return MutguardConfig{
+		Name:             "costmut",
+		GuardedPkgSuffix: "internal/datapath",
+		GuardedType:      "CostTable",
+		Fields:           []string{"PerSink", "TotalMux"},
+		AllowedPkgSuffixes: []string{
+			"internal/binding",
 		},
 	}
 }

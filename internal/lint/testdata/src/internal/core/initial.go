@@ -1,0 +1,11 @@
+package core
+
+import "fix/internal/binding"
+
+// Seed mutates bound state from the constructive-start file — the one
+// remaining file-level allowance of the mutguard boundary.
+func Seed(b *binding.Binding, op, f int) {
+	b.OpFU[op] = f
+	b.OpSwap[op] = !b.OpSwap[op]
+	delete(b.Pass, op)
+}

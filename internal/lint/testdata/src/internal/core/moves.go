@@ -1,13 +1,15 @@
-// Package core holds the fixture move layer: moves.go is inside the
-// mutguard boundary, other files of the package are not.
+// Package core holds the fixture move layer. Since the move engine
+// became transactional, moves.go is no longer inside the mutguard
+// boundary: movers must mutate through binding.Tx, and a direct field
+// write here is a finding. Only initial.go (the constructive start)
+// keeps the file-level allowance.
 package core
 
 import "fix/internal/binding"
 
-// Move mutates bound state from the designated move file — legal.
+// Move mutates bound state directly from the retired move file — since
+// the transactional rework this is illegal.
 func Move(b *binding.Binding, op, f int) {
-	b.OpFU[op] = f
-	b.OpSwap[op] = !b.OpSwap[op]
-	b.Pass[op] = f
-	delete(b.Pass, op+1)
+	b.OpFU[op] = f // want "write of internal/binding.Binding.OpFU outside the mutation boundary"
+	b.Pass[op] = f // want "write of internal/binding.Binding.Pass outside the mutation boundary"
 }
