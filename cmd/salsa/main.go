@@ -7,17 +7,22 @@
 //
 //	salsa -bench ewf -steps 19 -extra-regs 1 -rtl ewf.v
 //	salsa -cdfg mydesign.json -mode both -verify
+//	salsa -bench diffeq -json            # machine-readable result
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"salsa"
 	"salsa/internal/cdfg"
 	"salsa/internal/core"
 	"salsa/internal/datapath"
@@ -33,51 +38,78 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("salsa", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "", "built-in benchmark: ewf, dct, fir16, fir8, arf, diffeq, tseng, figure1")
-		cdfgPath  = flag.String("cdfg", "", "CDFG JSON file (alternative to -bench)")
-		steps     = flag.Int("steps", 0, "schedule length in control steps (default: critical path + 2)")
-		pipelined = flag.Bool("pipelined", false, "use pipelined multipliers (latency 2, initiation interval 1)")
-		extraRegs = flag.Int("extra-regs", 0, "registers beyond the minimum")
-		seed      = flag.Int64("seed", 1, "random seed for the iterative improvement search")
-		restarts  = flag.Int("restarts", 3, "independent search restarts (best kept)")
-		workers   = flag.Int("workers", runtime.NumCPU(), "parallel search workers (results are identical for any count)")
-		timeout   = flag.Duration("timeout", 0, "search deadline, e.g. 30s (0 = none; on expiry the best allocation so far is kept)")
-		mode      = flag.String("mode", "salsa", "binding model: salsa, traditional, matching, or both")
-		scheduler = flag.String("scheduler", "list", "scheduler: list (resource-constrained) or fds (force-directed)")
-		verify    = flag.Bool("verify", true, "cross-check the allocation by cycle-accurate simulation")
-		dotOut    = flag.String("dot", "", "write the CDFG in Graphviz DOT form to this file")
-		jsonOut   = flag.String("dump-json", "", "write the CDFG in the hand-authorable JSON schema to this file")
-		rtlOut    = flag.String("rtl", "", "write the structural RTL netlist to this file")
-		verbose   = flag.Bool("v", false, "print the full binding (per-op FU, per-segment register)")
-		chart     = flag.Bool("chart", false, "print register/FU occupancy charts and the mux summary")
-		doPlace   = flag.Bool("place", false, "estimate layout: optimized 1-D module placement and wire length")
-		area      = flag.Bool("area", false, "print the gate-equivalent area report (16-bit library)")
-		simInputs = flag.String("sim", "", "simulate the datapath on comma-separated inputs/states, e.g. \"x=3,y=4\" (loops run 4 iterations)")
+		benchName = fs.String("bench", "", "built-in benchmark: ewf, dct, fir16, fir8, arf, diffeq, tseng, figure1")
+		cdfgPath  = fs.String("cdfg", "", "CDFG JSON file (alternative to -bench)")
+		steps     = fs.Int("steps", 0, "schedule length in control steps (default: critical path + 2)")
+		pipelined = fs.Bool("pipelined", false, "use pipelined multipliers (latency 2, initiation interval 1)")
+		extraRegs = fs.Int("extra-regs", 0, "registers beyond the minimum")
+		seed      = fs.Int64("seed", 1, "random seed for the iterative improvement search")
+		restarts  = fs.Int("restarts", 3, "independent search restarts (best kept)")
+		workers   = fs.Int("workers", runtime.NumCPU(), "parallel search workers (results are identical for any count)")
+		timeout   = fs.Duration("timeout", 0, "search deadline, e.g. 30s (0 = none; on expiry the best allocation so far is kept)")
+		mode      = fs.String("mode", "salsa", "binding model: salsa, traditional, matching, or both")
+		scheduler = fs.String("scheduler", "list", "scheduler: list (resource-constrained) or fds (force-directed)")
+		verify    = fs.Bool("verify", true, "cross-check the allocation by cycle-accurate simulation")
+		jsonMode  = fs.Bool("json", false, "emit the machine-readable result schema (same document salsad serves) instead of prose")
+		dotOut    = fs.String("dot", "", "write the CDFG in Graphviz DOT form to this file")
+		jsonOut   = fs.String("dump-json", "", "write the CDFG in the hand-authorable JSON schema to this file")
+		rtlOut    = fs.String("rtl", "", "write the structural RTL netlist to this file")
+		verbose   = fs.Bool("v", false, "print the full binding (per-op FU, per-segment register)")
+		chart     = fs.Bool("chart", false, "print register/FU occupancy charts and the mux summary")
+		doPlace   = fs.Bool("place", false, "estimate layout: optimized 1-D module placement and wire length")
+		area      = fs.Bool("area", false, "print the gate-equivalent area report (16-bit library)")
+		simInputs = fs.String("sim", "", "simulate the datapath on comma-separated inputs/states, e.g. \"x=3,y=4\" (loops run 4 iterations)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "salsa:", err)
+		return 1
+	}
 
 	g, err := loadGraph(*benchName, *cdfgPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Println(g.Stats())
+
+	if *jsonMode {
+		// Machine-readable mode: execute through the same request-level
+		// path the salsad service uses, so `salsa -json` output is
+		// byte-identical to a service response body for the same
+		// request. Prose flags (-v, -chart, ...) are ignored here.
+		return runJSON(stdout, stderr, g, jsonParams{
+			steps: *steps, pipelined: *pipelined, extraRegs: *extraRegs,
+			fds:  strings.EqualFold(*scheduler, "fds"),
+			mode: *mode, seed: *seed, restarts: *restarts,
+			workers: *workers, timeout: *timeout, verify: *verify,
+		})
+	}
+
+	fmt.Fprintln(stdout, g.Stats())
 
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(g.DOT()), 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote %s\n", *dotOut)
+		fmt.Fprintf(stdout, "wrote %s\n", *dotOut)
 	}
 	if *jsonOut != "" {
 		data, err := g.MarshalJSON()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
 	}
 
 	d := cdfg.DefaultDelays(*pipelined)
@@ -87,7 +119,7 @@ func main() {
 		T = cp + 2
 	}
 	if T < cp {
-		fatal(fmt.Errorf("%d steps is below the critical path (%d)", T, cp))
+		return fail(fmt.Errorf("%d steps is below the critical path (%d)", T, cp))
 	}
 	var (
 		a   *lifetime.Analysis
@@ -105,9 +137,9 @@ func main() {
 		err = fmt.Errorf("unknown -scheduler %q", *scheduler)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("schedule: %d steps (critical path %d), %d ALUs, %d multipliers, min %d registers\n",
+	fmt.Fprintf(stdout, "schedule: %d steps (critical path %d), %d ALUs, %d multipliers, min %d registers\n",
 		T, cp, lim[sched.ClassALU], lim[sched.ClassMul], a.MinRegs)
 
 	var inputs []string
@@ -122,7 +154,7 @@ func main() {
 	if *verbose {
 		engCfg.Events = func(ev engine.Event) {
 			if ev.Kind == engine.EventImproved {
-				fmt.Println("   " + ev.String())
+				fmt.Fprintln(stdout, "   "+ev.String())
 			}
 		}
 	}
@@ -132,17 +164,17 @@ func main() {
 	runJobs := func(name string, jobs []engine.Job) *core.Result {
 		res, stats, err := engine.Run(context.Background(), a, hw, jobs, engCfg)
 		if err != nil {
-			fmt.Printf("%-12s infeasible: %v\n", name+":", err)
+			fmt.Fprintf(stdout, "%-12s infeasible: %v\n", name+":", err)
 			return nil
 		}
-		fmt.Printf("%-12s %2d muxes (%2d merged), %2d registers, %d FUs; %d/%d moves accepted; init %d -> final %d\n",
+		fmt.Fprintf(stdout, "%-12s %2d muxes (%2d merged), %2d registers, %d FUs; %d/%d moves accepted; init %d -> final %d\n",
 			name+":", res.Cost.MuxCost, res.MergedMux, res.Cost.RegsUsed, res.Cost.FUsUsed,
 			res.MovesAccepted, res.MovesTried, res.InitialCost.Total, res.Cost.Total)
 		if *verbose {
 			for _, jr := range stats.PerJob {
 				switch {
 				case jr.Err != nil:
-					fmt.Printf("%-12s   %-16s failed: %v\n", "", jr.Label, jr.Err)
+					fmt.Fprintf(stdout, "%-12s   %-16s failed: %v\n", "", jr.Label, jr.Err)
 				default:
 					note := ""
 					if jr.Pruned {
@@ -150,20 +182,20 @@ func main() {
 					} else if jr.Cancelled {
 						note = " (cancelled)"
 					}
-					fmt.Printf("%-12s   %-16s best %3d (%2d merged) after %d trials%s\n",
+					fmt.Fprintf(stdout, "%-12s   %-16s best %3d (%2d merged) after %d trials%s\n",
 						"", jr.Label, jr.Cost.Total, jr.Merged, jr.Trials, note)
 				}
 			}
-			fmt.Printf("%-12s %s\n", "", stats)
+			fmt.Fprintf(stdout, "%-12s %s\n", "", stats)
 			if stats.BestJob >= 0 {
-				fmt.Printf("%-12s winner: job %d (%s)\n", "", stats.BestJob, stats.PerJob[stats.BestJob].Label)
+				fmt.Fprintf(stdout, "%-12s winner: job %d (%s)\n", "", stats.BestJob, stats.PerJob[stats.BestJob].Label)
 			}
 		}
 		if len(res.Binding.Pass) > 0 || res.Binding.NumCopies() > 0 {
-			fmt.Printf("%-12s %d pass-throughs, %d value copies\n", "", len(res.Binding.Pass), res.Binding.NumCopies())
+			fmt.Fprintf(stdout, "%-12s %d pass-throughs, %d value copies\n", "", len(res.Binding.Pass), res.Binding.NumCopies())
 		}
 		ba := res.IC.AllocateBuses()
-		fmt.Printf("%-12s bus-style alternative: %d buses, %d sink muxes, %d drivers\n",
+		fmt.Fprintf(stdout, "%-12s bus-style alternative: %d buses, %d sink muxes, %d drivers\n",
 			"", ba.Buses, ba.MuxCost, ba.Drivers)
 		return res
 	}
@@ -180,9 +212,9 @@ func main() {
 	case "matching":
 		res, err := core.MatchingAllocate(a, hw, core.SALSAOptions(*seed).Cfg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("%-12s %2d muxes (%2d merged), %2d registers (constructive bipartite matching)\n",
+		fmt.Fprintf(stdout, "%-12s %2d muxes (%2d merged), %2d registers (constructive bipartite matching)\n",
 			"matching:", res.Cost.MuxCost, res.MergedMux, res.Cost.RegsUsed)
 		final = res
 	case "both":
@@ -195,28 +227,28 @@ func main() {
 		}
 		final = runJobs("salsa", jobs)
 	default:
-		fatal(fmt.Errorf("unknown -mode %q", *mode))
+		return fail(fmt.Errorf("unknown -mode %q", *mode))
 	}
 	if final == nil {
-		os.Exit(1)
+		return 1
 	}
 
 	if *verbose {
-		printBinding(final)
+		printBinding(stdout, final)
 	}
 	if *chart {
 		out, err := report.Full(final.Binding)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	}
 	if *area {
 		r, err := library.Analyze(library.Default(), final.Binding)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(r.String())
+		fmt.Fprint(stdout, r.String())
 	}
 	if *doPlace {
 		pl := place.Linear(final.IC)
@@ -228,21 +260,21 @@ func main() {
 				names = append(names, final.Binding.HW.Regs[m.Index].Name)
 			}
 		}
-		fmt.Printf("placement:   %s (wire length %d, %d improving swaps)\n",
+		fmt.Fprintf(stdout, "placement:   %s (wire length %d, %d improving swaps)\n",
 			strings.Join(names, " | "), pl.WireLength, pl.Swaps)
 	}
 
 	if *verify {
 		if err := verifyAllocation(final, g, *seed); err != nil {
-			fatal(fmt.Errorf("verification FAILED: %w", err))
+			return fail(fmt.Errorf("verification FAILED: %w", err))
 		}
-		fmt.Println("verified: cycle-accurate simulation matches reference semantics")
+		fmt.Fprintln(stdout, "verified: cycle-accurate simulation matches reference semantics")
 	}
 
 	if *simInputs != "" {
 		env, err := parseEnv(*simInputs)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		iters := 1
 		if g.Cyclic {
@@ -250,29 +282,89 @@ func main() {
 		}
 		res, err := dpsim.Run(final.Binding, env, iters)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("simulation (%d iteration(s)):\n", iters)
+		fmt.Fprintf(stdout, "simulation (%d iteration(s)):\n", iters)
 		var names []string
 		for name := range res.Outputs {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("  %s = %d\n", name, res.Outputs[name])
+			fmt.Fprintf(stdout, "  %s = %d\n", name, res.Outputs[name])
 		}
 	}
 
 	if *rtlOut != "" {
 		nl, err := rtl.Emit(final.Binding, strings.ReplaceAll(g.Name, "-", "_")+"_dp")
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*rtlOut, []byte(nl.Text), 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote %s (%d FUs, %d registers, %d merged muxes)\n", *rtlOut, nl.FUs, nl.Regs, nl.Muxes)
+		fmt.Fprintf(stdout, "wrote %s (%d FUs, %d registers, %d merged muxes)\n", *rtlOut, nl.FUs, nl.Regs, nl.Muxes)
 	}
+	return 0
+}
+
+// jsonParams carries the flag subset the -json path consumes.
+type jsonParams struct {
+	steps     int
+	pipelined bool
+	extraRegs int
+	fds       bool
+	mode      string
+	seed      int64
+	restarts  int
+	workers   int
+	timeout   time.Duration
+	verify    bool
+}
+
+// runJSON executes the allocation through the request-level façade and
+// prints the shared ResultJSON schema: the same bytes the salsad
+// service would serve for an equivalent request body.
+func runJSON(stdout, stderr io.Writer, g *cdfg.Graph, p jsonParams) int {
+	req := salsa.Request{
+		Graph: g,
+		Params: salsa.Params{
+			Steps:                p.steps,
+			PipelinedMultipliers: p.pipelined,
+			ExtraRegisters:       p.extraRegs,
+			ForceDirected:        p.fds,
+		},
+		Mode:     strings.ToLower(p.mode),
+		Seed:     p.seed,
+		Restarts: p.restarts,
+	}.Normalize()
+	req.Engine.Workers = p.workers
+
+	ctx := context.Background()
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	des, res, stats, err := salsa.Execute(ctx, req)
+	if err != nil {
+		fmt.Fprintln(stderr, "salsa:", err)
+		return 1
+	}
+	rj := salsa.BuildResultJSON(req.Graph, des.Steps(), req.Mode, req.Seed, req.Restarts, res, stats)
+	body, err := json.Marshal(rj)
+	if err != nil {
+		fmt.Fprintln(stderr, "salsa:", err)
+		return 1
+	}
+	if p.verify {
+		if err := verifyAllocation(res, g, p.seed); err != nil {
+			fmt.Fprintln(stderr, "salsa: verification FAILED:", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(stdout, string(body))
+	return 0
 }
 
 func loadGraph(bench, path string) (*cdfg.Graph, error) {
@@ -296,25 +388,25 @@ func loadGraph(bench, path string) (*cdfg.Graph, error) {
 	}
 }
 
-func printBinding(res *core.Result) {
+func printBinding(stdout io.Writer, res *core.Result) {
 	b := res.Binding
 	g := b.A.Sched.G
-	fmt.Println("operator bindings:")
+	fmt.Fprintln(stdout, "operator bindings:")
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		if !n.Op.IsArith() {
 			continue
 		}
-		fmt.Printf("  %-8s @%2d -> %s\n", n.Name, b.A.Sched.Start[i], b.HW.FUs[b.OpFU[i]].Name)
+		fmt.Fprintf(stdout, "  %-8s @%2d -> %s\n", n.Name, b.A.Sched.Start[i], b.HW.FUs[b.OpFU[i]].Name)
 	}
-	fmt.Println("value bindings:")
+	fmt.Fprintln(stdout, "value bindings:")
 	for i := range b.A.Values {
 		v := &b.A.Values[i]
 		var segs []string
 		for k := 0; k < v.Len; k++ {
 			segs = append(segs, fmt.Sprintf("R%d", b.SegReg[i][k]))
 		}
-		fmt.Printf("  %-8s born @%2d: %s\n", v.Name, v.Birth, strings.Join(segs, " "))
+		fmt.Fprintf(stdout, "  %-8s born @%2d: %s\n", v.Name, v.Birth, strings.Join(segs, " "))
 	}
 }
 
@@ -355,9 +447,4 @@ func parseEnv(s string) (cdfg.Env, error) {
 		env[strings.TrimSpace(parts[0])] = v
 	}
 	return env, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "salsa:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"salsa"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONModeGolden locks the -json output byte-for-byte: the schema
+// is shared with the salsad service, carries no wall-clock fields, and
+// allocation is deterministic, so the exact bytes are reproducible.
+func TestJSONModeGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "figure1", "-restarts", "2", "-seed", "1", "-json", "-verify=false"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "figure1_result.json")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file (rerun with -update if intended):\n got %s\nwant %s",
+			stdout.Bytes(), want)
+	}
+
+	// The document must decode as the shared schema with sane content.
+	var rj salsa.ResultJSON
+	if err := json.Unmarshal(stdout.Bytes(), &rj); err != nil {
+		t.Fatalf("output is not a ResultJSON: %v", err)
+	}
+	if rj.Graph != "figure1" || rj.Mode != "salsa" || rj.Seed != 1 || rj.Restarts != 2 {
+		t.Errorf("echoed request fields wrong: %+v", rj)
+	}
+	if rj.Partial {
+		t.Error("unconstrained run reported partial")
+	}
+	if len(rj.Fingerprint) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex digest", rj.Fingerprint)
+	}
+}
+
+// TestJSONModeVerify: -json respects -verify (on by default) and stays
+// silent on stdout apart from the result document.
+func TestJSONModeVerify(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "diffeq", "-restarts", "2", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Errorf("-json printed %d stdout lines, want exactly the result document:\n%s", len(lines), stdout.String())
+	}
+	var rj salsa.ResultJSON
+	if err := json.Unmarshal([]byte(lines[0]), &rj); err != nil {
+		t.Fatalf("output is not a ResultJSON: %v", err)
+	}
+}
+
+// TestRunErrors: flag and input failures exit non-zero via stderr, not
+// panics, for both prose and JSON modes.
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "nope"},
+		{"-bench", "figure1", "-mode", "quantum", "-json"},
+		{"-bench", "figure1", "-cdfg", "also.json"},
+		{},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("run(%v) succeeded, want failure", args)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("run(%v) failed without a diagnostic", args)
+		}
+	}
+}

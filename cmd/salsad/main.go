@@ -1,0 +1,101 @@
+// Command salsad is the long-running allocation service: an HTTP/JSON
+// daemon serving CDFG allocation requests from a deterministic pipeline
+// with content-addressed result caching, singleflight deduplication,
+// admission control, per-request deadlines (anytime partial results),
+// live metrics, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /allocate   synchronous allocation (AllocateRequest JSON)
+//	POST /jobs       asynchronous submission; answers 202 + job ID
+//	GET  /jobs/{id}  job state, engine progress, result
+//	GET  /metrics    Prometheus text format counters + histogram
+//	GET  /healthz    liveness
+//	GET  /readyz     readiness (503 while draining)
+//	GET  /debug/vars expvar
+//
+// Usage:
+//
+//	salsad -addr :8080 -max-concurrent 4 -max-queue 64 -cache 256
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"salsa/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("salsad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		cacheEntries  = fs.Int("cache", 256, "result cache capacity in entries (negative disables)")
+		maxConcurrent = fs.Int("max-concurrent", 2, "maximum simultaneous engine runs")
+		maxQueue      = fs.Int("max-queue", 64, "maximum requests waiting for an engine slot before 429")
+		defTimeout    = fs.Duration("default-timeout", 30*time.Second, "search deadline for requests without timeout_ms")
+		maxTimeout    = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on request deadlines")
+		workers       = fs.Int("engine-workers", 0, "engine workers per run (0 = GOMAXPROCS)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		CacheEntries:   *cacheEntries,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		EngineWorkers:  *workers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "salsad: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "salsad: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(stdout, "salsad: signal received, draining")
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Flip readiness off first so a load balancer still probing /readyz
+	// stops routing here, then stop the listener and wait for in-flight
+	// HTTP exchanges (Shutdown) and async jobs (Drain).
+	svc.StartDrain()
+	code := 0
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "salsad: shutdown: %v\n", err)
+		code = 1
+	}
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintf(stderr, "salsad: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "salsad: drained, exiting")
+	return code
+}

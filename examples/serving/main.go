@@ -1,0 +1,114 @@
+// Serving: run the allocation service in-process, submit the same
+// request twice (engine run, then content-addressed cache hit), watch
+// an async job's live progress, and drain gracefully — the same
+// pipeline `cmd/salsad` exposes as a daemon.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"salsa"
+	"salsa/internal/service"
+	"salsa/internal/workloads"
+)
+
+func main() {
+	svc := service.New(service.Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	graph, err := workloads.EWF().MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	request, err := json.Marshal(map[string]any{
+		"graph":    json.RawMessage(graph),
+		"restarts": 4,
+		"seed":     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First submission: a cache miss that runs the engine portfolio.
+	body, hdr := post(ts.URL+"/allocate", request)
+	var result salsa.ResultJSON
+	if err := json.Unmarshal(body, &result); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("miss: %s %s -> %d muxes, %d registers, total cost %d (cache %s)\n",
+		result.Graph, result.Fingerprint[:12], result.Cost.Mux,
+		result.Cost.Registers, result.Cost.Total, hdr.Get("X-Salsa-Cache"))
+
+	// Second submission: byte-identical body from the result cache.
+	again, hdr := post(ts.URL+"/allocate", request)
+	fmt.Printf("hit:  byte-identical=%t (cache %s)\n", bytes.Equal(body, again), hdr.Get("X-Salsa-Cache"))
+
+	// Async: submit a different request and poll its engine progress.
+	request2, err := json.Marshal(map[string]any{
+		"graph":    json.RawMessage(graph),
+		"restarts": 4,
+		"seed":     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, _ := post(ts.URL+"/jobs", request2)
+	var job struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(sub, &job); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		var st service.JobStatus
+		resp, err := http.Get(ts.URL + job.StatusURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("job %s: %s, %d/%d portfolio jobs, best cost %d\n",
+			st.ID, st.State, st.Progress.PortfolioJobsFinished,
+			st.Progress.PortfolioJobsStarted, st.Progress.BestCost)
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Graceful drain, as cmd/salsad does on SIGTERM.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained")
+}
+
+func post(url string, body []byte) ([]byte, http.Header) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("%s: status %d: %s", url, resp.StatusCode, out)
+	}
+	return out, resp.Header
+}

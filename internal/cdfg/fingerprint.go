@@ -1,0 +1,42 @@
+package cdfg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a stable content address for the graph: the hex
+// SHA-256 digest of a canonical serialization. The digest depends only
+// on the graph's structure and names — node order, operator kinds,
+// operand wiring, constant values, state back-edges and the cyclic flag
+// — never on JSON formatting, object key order, or map iteration, so a
+// graph round-tripped through MarshalJSON/ParseJSON (in any key order a
+// generic re-marshal produces) fingerprints byte-identically.
+//
+// Allocation results are deterministic functions of (graph, options),
+// which makes the fingerprint a correct content-addressing key for
+// result caches (see internal/service).
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	// Every field is written with an explicit tag and %q-quoted names,
+	// so no two distinct graphs can serialize to the same byte stream
+	// (quoting prevents name/separator ambiguity; counts prevent
+	// boundary ambiguity between sections).
+	fmt.Fprintf(h, "salsa-cdfg-v1 name=%q cyclic=%t nodes=%d\n", g.Name, g.Cyclic, len(g.Nodes))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		fmt.Fprintf(h, "%d op=%s name=%q args=%v", i, n.Op, n.Name, n.Args)
+		if n.Op == Const {
+			// ConstVal is semantically meaningful only on Const nodes;
+			// hashing it elsewhere would make equal graphs (modulo a
+			// junk field a builder never sets) fingerprint apart.
+			fmt.Fprintf(h, " const=%d", n.ConstVal)
+		}
+		if n.Next != NoNode {
+			fmt.Fprintf(h, " next=%d", n.Next)
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,121 @@
+package cdfg_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/randgraph"
+	"salsa/internal/workloads"
+)
+
+// fingerprintCases collects the graphs the stability contract is
+// asserted on: the paper benchmarks named in the issue plus ten
+// generated graphs spanning the randgraph parameter space.
+func fingerprintCases(t *testing.T) map[string]*cdfg.Graph {
+	t.Helper()
+	cases := map[string]*cdfg.Graph{
+		"ewf":    workloads.EWF(),
+		"dct":    workloads.DCT(),
+		"diffeq": workloads.Diffeq(),
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		c := randgraph.Generate(seed, randgraph.Params{}.Default())
+		cases[fmt.Sprintf("randgraph-%d", seed)] = c.Graph
+	}
+	return cases
+}
+
+// reMarshalShuffled re-encodes graph JSON through generic maps, which
+// replaces the struct field order ("name", "op", "args", ...) with
+// encoding/json's sorted-key map order ("args", "const", "name", ...),
+// i.e. a syntactically different but semantically identical document.
+func reMarshalShuffled(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal to generic form: %v", err)
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("re-marshal generic form: %v", err)
+	}
+	return out
+}
+
+// TestFingerprintStability is the content-addressing contract: a graph
+// round-tripped through its JSON form — including a re-marshal that
+// changes every object's key order — fingerprints byte-identically.
+func TestFingerprintStability(t *testing.T) {
+	for name, g := range fingerprintCases(t) {
+		t.Run(name, func(t *testing.T) {
+			want := g.Fingerprint()
+			if g.Fingerprint() != want {
+				t.Fatal("fingerprint not deterministic on the same graph")
+			}
+			data, err := g.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			round, err := cdfg.ParseJSON(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := round.Fingerprint(); got != want {
+				t.Errorf("JSON round-trip changed fingerprint: %s -> %s", want, got)
+			}
+			shuffled, err := cdfg.ParseJSON(reMarshalShuffled(t, data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := shuffled.Fingerprint(); got != want {
+				t.Errorf("key-shuffled re-marshal changed fingerprint: %s -> %s", want, got)
+			}
+		})
+	}
+}
+
+// TestFingerprintDistinguishes asserts structurally distinct graphs get
+// distinct digests: pairwise across the case set, and against targeted
+// single-field mutations of one benchmark.
+func TestFingerprintDistinguishes(t *testing.T) {
+	seen := make(map[string]string)
+	for name, g := range fingerprintCases(t) {
+		fp := g.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("graphs %s and %s share fingerprint %s", prev, name, fp)
+		}
+		seen[fp] = name
+	}
+
+	base := workloads.Diffeq()
+	want := base.Fingerprint()
+	mutate := func(name string, f func(g *cdfg.Graph)) {
+		g := workloads.Diffeq()
+		f(g)
+		if g.Fingerprint() == want {
+			t.Errorf("%s: mutated graph kept the original fingerprint", name)
+		}
+	}
+	mutate("rename-node", func(g *cdfg.Graph) { g.Nodes[0].Name = "renamed" })
+	mutate("rename-graph", func(g *cdfg.Graph) { g.Name = "renamed" })
+	mutate("swap-op", func(g *cdfg.Graph) {
+		for i := range g.Nodes {
+			if g.Nodes[i].Op == cdfg.Add {
+				g.Nodes[i].Op = cdfg.Sub
+				return
+			}
+		}
+		t.Fatal("no Add node to mutate")
+	})
+	mutate("change-const", func(g *cdfg.Graph) {
+		for i := range g.Nodes {
+			if g.Nodes[i].Op == cdfg.Const {
+				g.Nodes[i].ConstVal++
+				return
+			}
+		}
+		t.Fatal("no Const node to mutate")
+	})
+}

@@ -118,10 +118,12 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 		}
 		var base *snap
 		for _, workers := range []int{1, 2, 8} {
+			before := engine.Counters()
 			res, st, err := engine.Run(context.Background(), tc.a, tc.hw, tc.jobs, engine.Config{Workers: workers})
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
 			}
+			assertCounterDeltas(t, tc.name, workers, before, st)
 			if err := res.Binding.Check(); err != nil {
 				t.Fatalf("%s workers=%d: winner illegal: %v", tc.name, workers, err)
 			}
@@ -152,6 +154,39 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// assertCounterDeltas checks the expvar engine counters against the
+// deterministic Stats of the run just performed: the per-run deltas
+// must equal the canonical effort, for any worker count. Engine tests
+// run sequentially within this package, so the deltas are exact.
+func assertCounterDeltas(t *testing.T, name string, workers int, before map[string]int64, st *engine.Stats) {
+	t.Helper()
+	after := engine.Counters()
+	delta := func(counter string) int64 { return after[counter] - before[counter] }
+	exact := map[string]int64{
+		"salsa_engine_runs_total":           1,
+		"salsa_engine_jobs_total":           int64(st.Jobs),
+		"salsa_engine_trials_total":         int64(st.Trials),
+		"salsa_engine_moves_tried_total":    int64(st.MovesTried),
+		"salsa_engine_moves_accepted_total": int64(st.MovesAccepted),
+		"salsa_engine_jobs_pruned_total":    int64(st.Pruned),
+		"salsa_engine_jobs_cancelled_total": int64(st.Cancelled),
+		"salsa_engine_jobs_failed_total":    int64(st.Failed),
+	}
+	for counter, want := range exact {
+		if got := delta(counter); got != want {
+			t.Errorf("%s workers=%d: %s delta %d, want %d", name, workers, counter, got, want)
+		}
+	}
+	if w := delta("salsa_engine_workers_started_total"); w < 1 || w > int64(workers) {
+		t.Errorf("%s workers=%d: workers_started delta %d outside [1, %d]", name, workers, w, workers)
+	}
+	// At least the winner updated the shared incumbent; at most every
+	// job did.
+	if inc := delta("salsa_engine_incumbent_updates_total"); inc < 1 || inc > int64(st.Jobs) {
+		t.Errorf("%s workers=%d: incumbent_updates delta %d outside [1, %d]", name, workers, inc, st.Jobs)
 	}
 }
 

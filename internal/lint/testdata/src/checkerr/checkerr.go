@@ -33,3 +33,31 @@ func use() {
 	//lint:checkerr fixture: failure here is impossible by construction
 	g.Check() // suppressed by the directive above
 }
+
+// ResponseWriter and Request mirror net/http's handler shapes without
+// importing it (the fixture loader type-checks dependencies from
+// source, so the fixture stays dependency-light).
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Request stands in for *http.Request.
+type Request struct{ Method string }
+
+// ServeAllocate is handler-shaped: a legality error dropped on the
+// response path is still a dropped error — the handler would serve a
+// result that was never validated.
+func ServeAllocate(w ResponseWriter, r *Request) {
+	var g G
+	g.Check() // want "error from Check discarded"
+	if r.Method != "POST" {
+		w.WriteHeader(405)
+		return
+	}
+	_ = g.Validate() // want "error from Validate assigned to _"
+	// Write errors are not check-like; ignoring them is the server's
+	// prerogative (the client is gone), so this is not flagged.
+	w.Write([]byte("{}"))
+	defer g.Check() // want "error from Check discarded by defer"
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"salsa"
+	"salsa/internal/cdfg"
+)
+
+// AllocateRequest is the wire form of one allocation request, accepted
+// by POST /allocate (synchronous) and POST /jobs (asynchronous). Graph
+// is the cdfg JSON schema (the same document `salsa -dump-json` writes
+// and `salsa -cdfg` reads).
+type AllocateRequest struct {
+	Graph json.RawMessage `json:"graph"`
+
+	// Schedule parameters (salsa.Params).
+	Steps                int  `json:"steps,omitempty"`
+	PipelinedMultipliers bool `json:"pipelined_multipliers,omitempty"`
+	ExtraRegisters       int  `json:"extra_registers,omitempty"`
+	DisablePassHardware  bool `json:"disable_pass_hardware,omitempty"`
+	ForceDirected        bool `json:"force_directed,omitempty"`
+
+	// Search parameters. Mode defaults to "salsa", Seed to 1, Restarts
+	// to 3 (salsa.Request.Normalize).
+	Mode     string `json:"mode,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
+
+	// TimeoutMS bounds this request's search wall time in milliseconds.
+	// 0 selects the server default; values above the server maximum are
+	// clamped. A deadline that fires mid-search yields HTTP 200 with
+	// "partial": true; one that fires before any allocation exists
+	// yields HTTP 408. The deadline is intentionally NOT part of the
+	// cache key: complete results are deterministic whatever deadline
+	// they ran under, and partial results are never cached.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// allocSpec is a validated, normalized allocation request: the executable
+// salsa.Request plus its content address.
+type allocSpec struct {
+	req     salsa.Request
+	timeout time.Duration
+	// fingerprint is the graph's content address (cdfg.Fingerprint).
+	fingerprint string
+	// key is the result-cache / singleflight key: fingerprint plus the
+	// normalized options that influence the canonical result. Engine
+	// worker count and deadline are excluded — neither changes a
+	// complete result's bytes.
+	key string
+}
+
+// parseRequest validates the wire request and resolves it to a spec.
+func (s *Server) parseRequest(ar *AllocateRequest) (*allocSpec, error) {
+	if len(ar.Graph) == 0 {
+		return nil, fmt.Errorf("missing required field %q", "graph")
+	}
+	g, err := cdfg.ParseJSON(ar.Graph)
+	if err != nil {
+		return nil, err
+	}
+	req := salsa.Request{
+		Graph: g,
+		Params: salsa.Params{
+			Steps:                ar.Steps,
+			PipelinedMultipliers: ar.PipelinedMultipliers,
+			ExtraRegisters:       ar.ExtraRegisters,
+			DisablePassHardware:  ar.DisablePassHardware,
+			ForceDirected:        ar.ForceDirected,
+		},
+		Mode:     ar.Mode,
+		Seed:     ar.Seed,
+		Restarts: ar.Restarts,
+	}.Normalize()
+	switch req.Mode {
+	case "salsa", "traditional":
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want salsa or traditional)", req.Mode)
+	}
+	if ar.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative timeout_ms %d", ar.TimeoutMS)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if ar.TimeoutMS > 0 {
+		timeout = time.Duration(ar.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	req.Engine.Workers = s.cfg.EngineWorkers
+	fp := g.Fingerprint()
+	return &allocSpec{
+		req:         req,
+		timeout:     timeout,
+		fingerprint: fp,
+		key: fmt.Sprintf("%s|mode=%s seed=%d restarts=%d steps=%d pipelined=%t xregs=%d nopass=%t fds=%t",
+			fp, req.Mode, req.Seed, req.Restarts, req.Params.Steps, req.Params.PipelinedMultipliers,
+			req.Params.ExtraRegisters, req.Params.DisablePassHardware, req.Params.ForceDirected),
+	}, nil
+}
+
+// errorBody renders the uniform error response document.
+func errorBody(msg string) []byte {
+	body, err := json.Marshal(map[string]string{"error": msg})
+	if err != nil {
+		// A map[string]string cannot fail to marshal; keep a plain
+		// fallback rather than panicking in an error path.
+		return []byte(`{"error":"internal error"}`)
+	}
+	return append(body, '\n')
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU over finished response bodies, keyed by
+// the request's content address (graph fingerprint + normalized
+// options). Values are the exact bytes served for the original miss, so
+// a hit is byte-identical to the response that populated it. Only
+// complete (non-partial) results are stored — a deadline-truncated
+// result is not a deterministic function of the key.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and marks it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when the cache is full. A zero or negative capacity disables caching.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for len(c.items) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

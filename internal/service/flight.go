@@ -1,0 +1,59 @@
+package service
+
+import "sync"
+
+// flightGroup deduplicates identical in-flight work (singleflight): the
+// first caller for a key becomes the leader and runs fn; callers
+// arriving while the leader runs share its outcome without running fn
+// again. Unlike a cache, entries exist only while the work is in
+// flight — completed keys are forgotten immediately (the result cache
+// owns longer-term reuse).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	out     *outcome
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers and returns its
+// outcome plus whether this caller shared a leader's run rather than
+// performing its own.
+func (g *flightGroup) do(key string, fn func() *outcome) (out *outcome, shared bool) {
+	g.mu.Lock()
+	if c, inFlight := g.calls[key]; inFlight {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.out, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.out = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.out, false
+}
+
+// inFlight reports the number of callers currently waiting on the
+// leader for key (0 when the key is idle). Used by tests to make
+// collapse deterministic and by metrics gauges.
+func (g *flightGroup) inFlight(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters + 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"salsa/internal/engine"
+)
+
+// Job states, as reported by GET /jobs/{id}.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// JobProgress is the live search progress of an async job, fed by the
+// engine's telemetry events while the job leads an engine run. A job
+// that was deduplicated onto another identical in-flight run (or served
+// from the cache) completes without per-trial progress; Merged marks
+// that case.
+type JobProgress struct {
+	PortfolioJobsStarted  int  `json:"portfolio_jobs_started"`
+	PortfolioJobsFinished int  `json:"portfolio_jobs_finished"`
+	Improvements          int  `json:"improvements"`
+	BestCost              int  `json:"best_cost"`
+	LastTrial             int  `json:"last_trial"`
+	Merged                bool `json:"merged,omitempty"`
+}
+
+// JobStatus is the wire form of one async job.
+type JobStatus struct {
+	ID       string      `json:"id"`
+	State    string      `json:"state"`
+	Progress JobProgress `json:"progress"`
+	// HTTPStatus and Result carry the terminal outcome once State is
+	// done or failed: the status code and body a synchronous /allocate
+	// of the same request would have produced.
+	HTTPStatus int             `json:"http_status,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// job is the registry's mutable record of one async submission.
+type job struct {
+	mu       sync.Mutex
+	id       string
+	state    string
+	progress JobProgress
+	status   int
+	body     []byte
+}
+
+// engineEvent folds one engine telemetry event into the job's progress.
+// It is the engine's Events callback, so invocations are serialized.
+func (j *job) engineEvent(ev engine.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch ev.Kind {
+	case engine.EventJobStarted:
+		j.progress.PortfolioJobsStarted++
+	case engine.EventImproved:
+		j.progress.Improvements++
+		j.progress.BestCost = ev.Cost
+		j.progress.LastTrial = ev.Trial
+	case engine.EventJobFinished:
+		j.progress.PortfolioJobsFinished++
+	}
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+}
+
+// finish records the terminal outcome. merged marks completion via a
+// cache hit or a shared singleflight run rather than an own engine run.
+func (j *job) finish(status int, body []byte, merged bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = status
+	j.body = body
+	j.progress.Merged = merged
+	if status == 200 {
+		j.state = jobDone
+	} else {
+		j.state = jobFailed
+	}
+}
+
+// statusJSON snapshots the job as its wire form.
+func (j *job) statusJSON() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Progress: j.progress}
+	if j.state == jobDone {
+		st.HTTPStatus = j.status
+		st.Result = json.RawMessage(j.body)
+	} else if j.state == jobFailed {
+		st.HTTPStatus = j.status
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(j.body, &e) == nil {
+			st.Error = e.Error
+		}
+	}
+	return st
+}
+
+// jobRegistry tracks async jobs by ID. Entries are kept for the
+// process lifetime, bounded by maxJobs: submissions beyond the bound
+// are rejected so the registry cannot grow without limit.
+type jobRegistry struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	seq     int
+	maxJobs int
+}
+
+func newJobRegistry(maxJobs int) *jobRegistry {
+	return &jobRegistry{jobs: make(map[string]*job), maxJobs: maxJobs}
+}
+
+// create registers a fresh queued job keyed by a sequence number and
+// the request fingerprint prefix (readable, unique per process).
+func (r *jobRegistry) create(fingerprint string) (*job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.jobs) >= r.maxJobs {
+		return nil, fmt.Errorf("job registry full (%d jobs)", r.maxJobs)
+	}
+	r.seq++
+	j := &job{id: fmt.Sprintf("j%d-%.12s", r.seq, fingerprint), state: jobQueued}
+	r.jobs[j.id] = j
+	return j, nil
+}
+
+func (r *jobRegistry) get(id string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}

@@ -1,0 +1,452 @@
+// Package service is the resident serving layer over the allocation
+// engine: a long-running HTTP/JSON daemon (cmd/salsad) that amortizes
+// CDFG compile + portfolio-search cost across requests.
+//
+// The pipeline is deterministic end to end, which is what makes it
+// cacheable: a complete allocation result is a pure function of
+// (graph fingerprint, normalized options), independent of worker count
+// and completion order (the engine's determinism contract). On top of
+// that the server layers
+//
+//   - a content-addressed LRU result cache keyed by
+//     (cdfg.Fingerprint, normalized options) storing exact response
+//     bytes, so a hit is byte-identical to the miss that filled it;
+//   - singleflight deduplication: identical requests in flight collapse
+//     to one engine run, followers share the leader's response bytes;
+//   - admission control: a bounded wait queue in front of a bounded
+//     engine-slot pool; overflow is rejected immediately with HTTP 429
+//     and a Retry-After hint, so heavy traffic degrades by shedding
+//     load, not by collapsing;
+//   - per-request deadlines threaded into the engine's context
+//     cancellation with anytime semantics: a deadline that fires
+//     mid-search returns the best allocation found so far as HTTP 200
+//     with "partial": true (never cached); one that fires before any
+//     allocation exists returns HTTP 408;
+//   - graceful drain: Drain flips /readyz to 503, rejects new
+//     allocation work with 503, and waits for in-flight requests and
+//     async jobs to complete (cmd/salsad calls it on SIGTERM);
+//   - first-class observability: /metrics (Prometheus text format,
+//     service counters + latency histogram + the engine's process-wide
+//     expvar counters), /healthz, /readyz, and per-job progress from
+//     engine telemetry via /jobs/{id}.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"salsa"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// CacheEntries bounds the result cache; 0 selects 256, negative
+	// disables caching.
+	CacheEntries int
+	// MaxConcurrent bounds simultaneous engine runs; 0 selects 2.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an engine slot; beyond it
+	// admission control answers 429. 0 selects 64.
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// 0 selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request deadlines; 0 selects 2m.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; 0 selects 4 MiB.
+	MaxBodyBytes int64
+	// EngineWorkers is the per-run engine worker count; 0 selects
+	// GOMAXPROCS (the engine's default).
+	EngineWorkers int
+	// MaxJobs bounds the async job registry; 0 selects 1024.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Server is one allocation service instance. Construct with New, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *resultCache
+	flight  *flightGroup
+	jobs    *jobRegistry
+
+	// sem holds one token per running engine invocation.
+	sem      chan struct{}
+	draining atomic.Bool
+	// work tracks in-flight allocation work (sync handlers and async
+	// job goroutines) for Drain.
+	work sync.WaitGroup
+
+	// execute performs one compiled allocation; tests substitute it to
+	// inject synchronization and capture results. Defaults to
+	// salsa.Execute.
+	execute func(ctx context.Context, req salsa.Request) (*salsa.Design, *salsa.Result, *salsa.Stats, error)
+	// runStarted, when non-nil, is called by a singleflight leader
+	// after admission (holding an engine slot) and before the engine
+	// run — the test hook that makes collapse and overflow scenarios
+	// deterministic.
+	runStarted func(spec *allocSpec)
+}
+
+// New builds a Server with cfg's zero values replaced by defaults.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newResultCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		jobs:    newJobRegistry(cfg.MaxJobs),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		execute: salsa.Execute,
+	}
+	publishExpvar(s)
+	return s
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /allocate", s.instrument(s.handleAllocate))
+	mux.HandleFunc("POST /jobs", s.instrument(s.handleSubmitJob))
+	mux.HandleFunc("GET /jobs/{id}", s.instrument(s.handleJobStatus))
+	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument(s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// StartDrain enters drain mode without waiting: /readyz turns 503 and
+// new allocation work is rejected with 503, while in-flight work keeps
+// running. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain enters drain mode — /readyz turns 503, new allocation work is
+// rejected with 503 — and waits for in-flight requests and async jobs
+// to finish, or for ctx to expire. It is idempotent; cmd/salsad calls
+// it on SIGTERM alongside http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.work.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with request counting, status accounting
+// and the latency histogram.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.metrics.httpRequests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.response(rec.status)
+		s.metrics.latency.observe(time.Since(t0))
+	}
+}
+
+// outcome is one allocation attempt's HTTP result, shared verbatim by
+// singleflight followers (so their bodies are byte-identical to the
+// leader's).
+type outcome struct {
+	status     int
+	body       []byte
+	retryAfter string
+	partial    bool
+}
+
+func (s *Server) respond(w http.ResponseWriter, out *outcome) {
+	if out.retryAfter != "" {
+		w.Header().Set("Retry-After", out.retryAfter)
+	}
+	writeJSON(w, out.status, out.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The response writer's error has nowhere useful to go: the client
+	// is gone. The status accounting above already recorded the
+	// request.
+	_, _ = w.Write(body)
+}
+
+// decodeRequest reads and parses the wire request; on failure it writes
+// the error response and returns nil.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) *allocSpec {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody(fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)))
+			return nil
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody("reading request body: "+err.Error()))
+		return nil
+	}
+	var ar AllocateRequest
+	if err := json.Unmarshal(body, &ar); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody("decoding request: "+err.Error()))
+		return nil
+	}
+	spec, err := s.parseRequest(&ar)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(err.Error()))
+		return nil
+	}
+	return spec
+}
+
+// rejectDraining answers 503 during drain; reports whether it did.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusServiceUnavailable, errorBody("server is draining"))
+	return true
+}
+
+// handleAllocate is the synchronous allocation endpoint.
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.allocRequests.Add(1)
+	if s.rejectDraining(w) {
+		return
+	}
+	s.work.Add(1)
+	defer s.work.Done()
+	spec := s.decodeRequest(w, r)
+	if spec == nil {
+		return
+	}
+	if body, ok := s.cache.get(spec.key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Salsa-Cache", "hit")
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	w.Header().Set("X-Salsa-Cache", "miss")
+	out, shared := s.flight.do(spec.key, func() *outcome { return s.runAllocation(spec) })
+	if shared {
+		s.metrics.flightShared.Add(1)
+		w.Header().Set("X-Salsa-Flight", "shared")
+	} else {
+		s.metrics.flightLeads.Add(1)
+	}
+	s.respond(w, out)
+}
+
+// handleSubmitJob is the asynchronous submission endpoint: it answers
+// 202 with a job ID immediately and runs the allocation in the
+// background, exposing engine telemetry as progress on /jobs/{id}.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	s.metrics.allocRequests.Add(1)
+	if s.rejectDraining(w) {
+		return
+	}
+	spec := s.decodeRequest(w, r)
+	if spec == nil {
+		return
+	}
+	j, err := s.jobs.create(spec.fingerprint)
+	if err != nil {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, errorBody(err.Error()))
+		return
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	if body, ok := s.cache.get(spec.key); ok {
+		s.metrics.cacheHits.Add(1)
+		j.finish(http.StatusOK, body, true)
+		s.metrics.jobsFinished.Add(1)
+	} else {
+		s.metrics.cacheMisses.Add(1)
+		// Progress events only flow when this job leads its own engine
+		// run; a shared run completes the job without per-trial
+		// progress (Merged marks that).
+		spec.req.Engine.Events = j.engineEvent
+		s.work.Add(1)
+		go func() {
+			defer s.work.Done()
+			j.setState(jobRunning)
+			out, shared := s.flight.do(spec.key, func() *outcome { return s.runAllocation(spec) })
+			if shared {
+				s.metrics.flightShared.Add(1)
+			} else {
+				s.metrics.flightLeads.Add(1)
+			}
+			j.finish(out.status, out.body, shared)
+			s.metrics.jobsFinished.Add(1)
+		}()
+	}
+	resp, merr := json.Marshal(map[string]string{"id": j.id, "status_url": "/jobs/" + j.id})
+	if merr != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("encoding response: "+merr.Error()))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, append(resp, '\n'))
+}
+
+// handleJobStatus reports an async job's state, progress and result.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody("unknown job "+r.PathValue("id")))
+		return
+	}
+	body, err := json.Marshal(j.statusJSON())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody("encoding status: "+err.Error()))
+		return
+	}
+	writeJSON(w, http.StatusOK, append(body, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, []byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, []byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	writeJSON(w, http.StatusOK, []byte("{\"status\":\"ready\"}\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writePrometheus(w, s.cache.len())
+}
+
+// runAllocation is the singleflight leader's path: admission control,
+// then one engine run under the request deadline, then response
+// assembly and cache fill.
+func (s *Server) runAllocation(spec *allocSpec) *outcome {
+	// Admission: join the bounded wait queue, or shed load now. The
+	// queue-depth gauge doubles as the admission counter so the
+	// rejection decision and the metric can never disagree.
+	if depth := s.metrics.queueDepth.Add(1); depth > int64(s.cfg.MaxQueue) {
+		s.metrics.queueDepth.Add(-1)
+		s.metrics.queueRejected.Add(1)
+		return &outcome{
+			status:     http.StatusTooManyRequests,
+			body:       errorBody(fmt.Sprintf("admission queue full (%d waiting)", depth-1)),
+			retryAfter: "1",
+		}
+	}
+	s.sem <- struct{}{}
+	s.metrics.queueDepth.Add(-1)
+	defer func() { <-s.sem }()
+	s.metrics.activeRuns.Add(1)
+	defer s.metrics.activeRuns.Add(-1)
+	s.metrics.engineRuns.Add(1)
+	if s.runStarted != nil {
+		s.runStarted(spec)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), spec.timeout)
+	defer cancel()
+	des, res, stats, err := s.execute(ctx, spec.req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The deadline fired before any legal allocation existed:
+			// there is no incumbent to return. The client's deadline
+			// caused it, so this is a 4xx, not a server failure.
+			s.metrics.timeoutsEmpty.Add(1)
+			return &outcome{status: http.StatusRequestTimeout,
+				body: errorBody("deadline expired before any allocation was found; raise timeout_ms")}
+		}
+		return &outcome{status: http.StatusUnprocessableEntity, body: errorBody(err.Error())}
+	}
+	// Defense in depth: never serve (or cache) an illegal binding.
+	if cerr := res.Binding.Check(); cerr != nil {
+		return &outcome{status: http.StatusInternalServerError,
+			body: errorBody("internal: allocation failed legality check: " + cerr.Error())}
+	}
+	rj := salsa.BuildResultJSON(spec.req.Graph, des.Steps(), spec.req.Mode, spec.req.Seed, spec.req.Restarts, res, stats)
+	body, merr := json.Marshal(rj)
+	if merr != nil {
+		return &outcome{status: http.StatusInternalServerError, body: errorBody("encoding result: " + merr.Error())}
+	}
+	body = append(body, '\n')
+	if rj.Partial {
+		// A truncated result is timing-dependent: correct to serve,
+		// wrong to cache under a deterministic content address.
+		s.metrics.partials.Add(1)
+	} else {
+		s.cache.put(spec.key, body)
+	}
+	return &outcome{status: http.StatusOK, body: body, partial: rj.Partial}
+}
