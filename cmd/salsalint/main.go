@@ -2,7 +2,9 @@
 // (internal/lint) over module packages and reports contract
 // violations: nondeterministic randomness, order-sensitive map
 // iteration, binding mutations outside the move layer, mixed
-// atomic/plain field access, and discarded legality-check errors.
+// atomic/plain field access, discarded legality-check errors,
+// mutex-guarded fields touched without their guard (lockguard), and
+// context-flow violations in the serving layers (ctxflow).
 //
 // Usage:
 //

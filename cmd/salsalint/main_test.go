@@ -38,8 +38,12 @@ func TestFixtureExitCodes(t *testing.T) {
 		{"costmut", "costmut", "badcostmut", 1},
 		{"atomicfield", "atomicfield", "atomicfield", 1},
 		{"checkerr", "checkerr", "checkerr", 1},
+		{"lockguard", "lockguard", "lockguard", 1},
+		{"ctxflow", "ctxflow", "internal/service", 1},
 		{"clean-package", "", "internal/binding", 0},
 		{"clean-under-other-analyzer", "detrand", "badmut", 0},
+		{"lockguard-skips-unannotated", "lockguard", "badmut", 0},
+		{"ctxflow-skips-unscoped", "ctxflow", "lockguard", 0},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -76,12 +80,45 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// documentedSuite is the analyzer set README and DESIGN.md promise, in
+// suite order. TestAnalyzerRegistry pins -list to exactly this set so
+// a silently-unregistered (or silently-added) analyzer fails the
+// build, not just the docs.
+var documentedSuite = []string{
+	"detrand", "maporder", "mutguard", "graphmut", "costmut",
+	"atomicfield", "checkerr", "lockguard", "ctxflow",
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-list"}, &out, &errb); got != 0 {
+		t.Fatalf("-list exit = %d, want 0; stderr: %s", got, errb.String())
+	}
+	var listed []string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			t.Fatalf("-list printed a blank line:\n%s", out.String())
+		}
+		listed = append(listed, fields[0])
+	}
+	if len(listed) != len(documentedSuite) {
+		t.Fatalf("-list shows %d analyzers %v, documented set has %d %v",
+			len(listed), listed, len(documentedSuite), documentedSuite)
+	}
+	for i, name := range documentedSuite {
+		if listed[i] != name {
+			t.Errorf("-list[%d] = %s, documented suite has %s", i, listed[i], name)
+		}
+	}
+}
+
 func TestListAndBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if got := run([]string{"-list"}, &out, &errb); got != 0 {
 		t.Fatalf("-list exit = %d, want 0", got)
 	}
-	for _, name := range []string{"detrand", "maporder", "mutguard", "graphmut", "costmut", "atomicfield", "checkerr"} {
+	for _, name := range documentedSuite {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output misses analyzer %s", name)
 		}
@@ -89,7 +126,7 @@ func TestListAndBadFlags(t *testing.T) {
 	if got := run([]string{"-enable", "nosuch"}, &out, &errb); got != 2 {
 		t.Fatalf("unknown analyzer exit = %d, want 2", got)
 	}
-	if got := run([]string{"-disable", "detrand,maporder,mutguard,graphmut,costmut,atomicfield,checkerr"}, &out, &errb); got != 2 {
+	if got := run([]string{"-disable", strings.Join(documentedSuite, ",")}, &out, &errb); got != 2 {
 		t.Fatalf("empty selection exit = %d, want 2", got)
 	}
 }

@@ -81,6 +81,9 @@ func Run(ctx context.Context, a *lifetime.Analysis, hw *datapath.Hardware, jobs 
 		return nil, nil, errors.New("engine: empty portfolio")
 	}
 	if ctx == nil {
+		// A nil ctx means the caller opted out of cancellation; there is
+		// no caller context to derive from.
+		//lint:ctxflow nil-ctx default, no caller context exists to derive from
 		ctx = context.Background()
 	}
 	if cfg.Timeout > 0 {
@@ -202,7 +205,7 @@ type run struct {
 	// EventImproved telemetry; guarded by mu so the event stream is
 	// monotone. Separate from incumbent: speculative, timing-dependent,
 	// never consulted for pruning.
-	liveBest int64
+	liveBest int64 // guarded by mu
 	mu       sync.Mutex
 }
 
@@ -242,6 +245,9 @@ func (eng *run) runJob(ctx context.Context, a *lifetime.Analysis, hw *datapath.H
 	eng.emit(Event{Kind: EventJobStarted, Job: idx, Label: job.Label, Seed: job.Opts.Seed})
 	out := &outcome{}
 	ctl := &core.Control{
+		// core.Control is a framework slot: the core allocator takes its
+		// cancellation signal through this struct rather than a parameter.
+		//lint:ctxflow core.Control is the allocator's designed context carrier
 		Ctx: ctx,
 		TrialEnd: func(trial int, best *binding.Binding, bestCost binding.Cost, improved bool, tried, accepted int) bool {
 			rec := trialRec{

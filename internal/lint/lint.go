@@ -1,7 +1,7 @@
 // Package lint is a self-contained static-analysis framework (stdlib
 // go/ast + go/parser + go/types only — no external dependencies) that
-// enforces this repository's determinism and binding-legality
-// contracts. The parallel portfolio engine promises byte-identical
+// enforces this repository's determinism, binding-legality and
+// concurrency contracts. The parallel portfolio engine promises byte-identical
 // results for any worker count, and the Table-1 move set is only sound
 // if every mutation preserves the invariants binding.Check encodes;
 // both contracts would otherwise be enforced by convention alone. The
@@ -23,6 +23,15 @@
 //     must be accessed atomically everywhere.
 //   - checkerr: error results of Check/Validate/Verify* calls must not
 //     be discarded.
+//   - lockguard: fields annotated "// guarded by <mu>" are only read
+//     or written with the named sibling mutex provably held; also
+//     reports double-lock, unlock-when-not-held and
+//     may-be-held-at-return within a function body.
+//   - ctxflow: in the serving layers, context.Context is the first
+//     parameter, never a struct field, never re-rooted via
+//     Background()/TODO() on a path that already has a ctx, and
+//     ctx-derived cancel functions are called or deferred on every
+//     path.
 //
 // A finding is suppressed by a justification comment on (or directly
 // above) the offending line:
@@ -226,7 +235,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// Suite returns the seven project analyzers in their default
+// Suite returns the nine project analyzers in their default
 // configuration, in stable order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
@@ -237,6 +246,8 @@ func Suite() []*Analyzer {
 		NewMutguard(CostTableMutguardConfig()),
 		Atomicfield,
 		Checkerr,
+		Lockguard,
+		NewCtxflow(DefaultCtxflowConfig()),
 	}
 }
 

@@ -1,0 +1,437 @@
+package lint
+
+// Shared intra-procedural flow machinery for the concurrency-contract
+// analyzers (lockguard, ctxflow). Both need the same question answered
+// at every program point of one function body: "which obligations are
+// provably in effect here?" — for lockguard the obligation is a held
+// mutex guard, for ctxflow a pending context cancel. The tracker walks
+// one body branch-sensitively, maintaining two sets per tracked key:
+//
+//   - definitely (def): the key is in effect on *every* path reaching
+//     this point. Used for positive proofs ("the guard is held, this
+//     field access is legal") and certain errors ("Lock while
+//     definitely held" is a self-deadlock).
+//   - maybe (may): the key is in effect on *at least one* path. Used
+//     for leak reports at returns ("the lock/cancel may still be
+//     outstanding on this path").
+//
+// Branch merges intersect def and union may, so the analysis never
+// claims a guard is held when some path dropped it, and never misses a
+// path that can leak. The walk is deliberately modest: it is not a CFG
+// — loops are entered at most conceptually once, break/continue fall
+// through, and function literals are NOT inherited into (each literal
+// is analyzed as its own context by the analyzers, since a closure may
+// run on another goroutine where the caller's locks mean nothing).
+// `defer` of a release marks the key satisfied at every return while
+// leaving it in effect for the remaining body — exactly the semantics
+// of `mu.Lock(); defer mu.Unlock()`.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// holdMode distinguishes exclusive acquisition (Lock) from shared
+// (RLock). holdWrite satisfies a read requirement; holdRead does not
+// satisfy a write requirement.
+type holdMode int
+
+const (
+	holdRead holdMode = iota + 1
+	holdWrite
+)
+
+// holdInfo records one in-effect key: how it was acquired and where.
+type holdInfo struct {
+	mode holdMode
+	pos  token.Pos
+}
+
+// flowState is the abstract state at one program point.
+type flowState struct {
+	def      map[string]holdInfo
+	may      map[string]holdInfo
+	deferred map[string]bool
+	// dead marks state after a return: nothing downstream executes, so
+	// merges ignore it.
+	dead bool
+}
+
+func newFlowState() *flowState {
+	return &flowState{
+		def:      make(map[string]holdInfo),
+		may:      make(map[string]holdInfo),
+		deferred: make(map[string]bool),
+	}
+}
+
+func (st *flowState) clone() *flowState {
+	c := newFlowState()
+	for k, v := range st.def {
+		c.def[k] = v
+	}
+	for k, v := range st.may {
+		c.may[k] = v
+	}
+	for k := range st.deferred {
+		c.deferred[k] = true
+	}
+	c.dead = st.dead
+	return c
+}
+
+// acquire puts key in effect on the current path.
+func (st *flowState) acquire(key string, pos token.Pos, mode holdMode) {
+	st.def[key] = holdInfo{mode: mode, pos: pos}
+	st.may[key] = holdInfo{mode: mode, pos: pos}
+}
+
+// release takes key out of effect on the current path.
+func (st *flowState) release(key string) {
+	delete(st.def, key)
+	delete(st.may, key)
+}
+
+// deferRelease marks key as released by a pending defer: it stays in
+// effect for the remaining body but no longer leaks at returns.
+func (st *flowState) deferRelease(key string) {
+	st.deferred[key] = true
+}
+
+// defHeld reports whether key is in effect on every path, and in what
+// mode.
+func (st *flowState) defHeld(key string) (holdMode, bool) {
+	h, ok := st.def[key]
+	return h.mode, ok
+}
+
+// mayHeld reports whether key is in effect on at least one path.
+func (st *flowState) mayHeld(key string) bool {
+	_, ok := st.may[key]
+	return ok
+}
+
+// mergeWith folds another branch's exit state into this one.
+func (st *flowState) mergeWith(o *flowState) {
+	if o == nil || o.dead {
+		return
+	}
+	if st.dead {
+		*st = *o.clone()
+		return
+	}
+	for k, v := range st.def {
+		ov, ok := o.def[k]
+		if !ok {
+			delete(st.def, k)
+			continue
+		}
+		// Held on both paths but possibly in different modes: only the
+		// weaker mode is guaranteed.
+		if ov.mode < v.mode {
+			st.def[k] = holdInfo{mode: ov.mode, pos: v.pos}
+		}
+	}
+	for k, v := range o.may {
+		if cur, ok := st.may[k]; !ok || v.pos < cur.pos {
+			st.may[k] = v
+		}
+	}
+	for k := range o.deferred {
+		st.deferred[k] = true
+	}
+}
+
+// leaks returns the keys still in effect and not covered by a defer,
+// in sorted order for deterministic reporting.
+func (st *flowState) leaks() []string {
+	var keys []string
+	for k := range st.may {
+		if !st.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// flowHooks are the analyzer-specific callbacks of one tracked walk.
+// Any hook may be nil. State transitions (acquire/release) are the
+// analyzer's job, performed inside the hooks; the tracker only plumbs
+// state through the control flow.
+type flowHooks struct {
+	// call fires for every call expression reached on the walked path
+	// (pre-order, function literals pruned). deferred marks calls that
+	// run at return time: a `defer x.Unlock()`, or any call inside a
+	// directly-deferred function literal.
+	call func(call *ast.CallExpr, deferred bool, st *flowState)
+	// assign fires for every assignment statement, after its
+	// expressions were visited.
+	assign func(s *ast.AssignStmt, st *flowState)
+	// condKey recognizes an if-condition that puts key in effect on
+	// only one branch (TryLock). onTrue selects which branch holds it.
+	condKey func(cond ast.Expr) (key string, pos token.Pos, mode holdMode, onTrue bool)
+	// visit fires for every node of every visited expression tree
+	// (pre-order, function literals pruned), with the state in effect
+	// at the enclosing statement.
+	visit func(n ast.Node, st *flowState)
+	// ret fires at every return statement and at the fall-off end of
+	// the body, after the return's expressions were visited.
+	ret func(pos token.Pos, st *flowState)
+	// goStmt fires for go statements. The spawned body is NOT walked on
+	// this path (it runs concurrently); analyzers wanting to inspect it
+	// analyze the literal as its own context.
+	goStmt func(g *ast.GoStmt, st *flowState)
+	// funcLit fires for function literals encountered (and pruned)
+	// during expression visits — except a literal directly spawned by
+	// go (see goStmt) or directly deferred (routed through call with
+	// deferred=true instead).
+	funcLit func(fl *ast.FuncLit, st *flowState)
+}
+
+// flowTracker walks one function body with the hooks above.
+type flowTracker struct {
+	hooks flowHooks
+}
+
+// walkBody runs the tracked walk over one function body and returns
+// the exit state. The ret hook fires for the implicit return at the
+// closing brace when the body can fall off the end.
+func (tr *flowTracker) walkBody(body *ast.BlockStmt) *flowState {
+	st := newFlowState()
+	tr.stmt(body, st)
+	if !st.dead && tr.hooks.ret != nil {
+		tr.hooks.ret(body.End(), st)
+	}
+	return st
+}
+
+// visitExpr traverses one expression (or simple-statement) tree in
+// pre-order, pruning function literals, firing the visit hook on each
+// node and the call hook on each call.
+func (tr *flowTracker) visitExpr(n ast.Node, st *flowState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if fl, ok := x.(*ast.FuncLit); ok {
+			if tr.hooks.funcLit != nil {
+				tr.hooks.funcLit(fl, st)
+			}
+			return false
+		}
+		if tr.hooks.visit != nil {
+			tr.hooks.visit(x, st)
+		}
+		if call, ok := x.(*ast.CallExpr); ok && tr.hooks.call != nil {
+			tr.hooks.call(call, false, st)
+		}
+		return true
+	})
+}
+
+func (tr *flowTracker) stmt(s ast.Stmt, st *flowState) {
+	if s == nil || st.dead {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, x := range s.List {
+			if st.dead {
+				break
+			}
+			tr.stmt(x, st)
+		}
+	case *ast.IfStmt:
+		tr.stmt(s.Init, st)
+		tr.visitExpr(s.Cond, st)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		if tr.hooks.condKey != nil {
+			if key, pos, mode, onTrue := tr.hooks.condKey(s.Cond); key != "" {
+				if onTrue {
+					thenSt.acquire(key, pos, mode)
+				} else {
+					elseSt.acquire(key, pos, mode)
+				}
+			}
+		}
+		tr.stmt(s.Body, thenSt)
+		tr.stmt(s.Else, elseSt)
+		*st = *thenSt
+		st.mergeWith(elseSt)
+	case *ast.ForStmt:
+		tr.stmt(s.Init, st)
+		tr.visitExpr(s.Cond, st)
+		// The body is analyzed once from the entry state; the loop may
+		// also run zero times, so entry and body-exit merge after.
+		bodySt := st.clone()
+		tr.stmt(s.Body, bodySt)
+		tr.stmt(s.Post, bodySt)
+		st.mergeWith(bodySt)
+	case *ast.RangeStmt:
+		tr.visitExpr(s.X, st)
+		tr.visitExpr(s.Key, st)
+		tr.visitExpr(s.Value, st)
+		bodySt := st.clone()
+		tr.stmt(s.Body, bodySt)
+		st.mergeWith(bodySt)
+	case *ast.SwitchStmt:
+		tr.stmt(s.Init, st)
+		tr.visitExpr(s.Tag, st)
+		tr.caseClauses(s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		tr.stmt(s.Init, st)
+		tr.stmt(s.Assign, st)
+		tr.caseClauses(s.Body, st, false)
+	case *ast.SelectStmt:
+		// A select blocks until one clause fires, so only clause exits
+		// merge (no fall-through entry state) — unless there are no
+		// clauses at all.
+		tr.caseClauses(s.Body, st, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			tr.visitExpr(r, st)
+		}
+		if tr.hooks.ret != nil {
+			tr.hooks.ret(s.Pos(), st)
+		}
+		st.dead = true
+	case *ast.DeferStmt:
+		for _, arg := range s.Call.Args {
+			tr.visitExpr(arg, st)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// Calls inside a directly-deferred literal run at return
+			// time; surface them as deferred calls so `defer func() {
+			// mu.Unlock() }()` works like `defer mu.Unlock()`.
+			if tr.hooks.call != nil {
+				ast.Inspect(fl.Body, func(x ast.Node) bool {
+					if inner, ok := x.(*ast.CallExpr); ok {
+						tr.hooks.call(inner, true, st)
+					}
+					return true
+				})
+			}
+		} else {
+			tr.visitExpr(s.Call.Fun, st)
+			if tr.hooks.call != nil {
+				tr.hooks.call(s.Call, true, st)
+			}
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			tr.visitExpr(arg, st)
+		}
+		if _, ok := s.Call.Fun.(*ast.FuncLit); !ok {
+			tr.visitExpr(s.Call.Fun, st)
+		}
+		if tr.hooks.goStmt != nil {
+			tr.hooks.goStmt(s, st)
+		}
+	case *ast.LabeledStmt:
+		tr.stmt(s.Stmt, st)
+	case *ast.AssignStmt:
+		tr.visitExpr(s, st)
+		if tr.hooks.assign != nil {
+			tr.hooks.assign(s, st)
+		}
+	case *ast.BranchStmt:
+		// break/continue/goto: fall through conservatively.
+	case *ast.EmptyStmt:
+	default:
+		// ExprStmt, IncDecStmt, SendStmt, DeclStmt, ...
+		tr.visitExpr(s, st)
+	}
+}
+
+// caseClauses walks each clause of a switch/select body from the entry
+// state and merges the clause exits. When the construct can skip every
+// clause (a switch without default), the entry state merges in too.
+func (tr *flowTracker) caseClauses(body *ast.BlockStmt, st *flowState, isSelect bool) {
+	if body == nil || len(body.List) == 0 {
+		return
+	}
+	entry := st.clone()
+	var merged *flowState
+	hasDefault := false
+	for _, c := range body.List {
+		clauseSt := entry.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				tr.visitExpr(e, clauseSt)
+			}
+			for _, s := range c.Body {
+				if clauseSt.dead {
+					break
+				}
+				tr.stmt(s, clauseSt)
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			tr.stmt(c.Comm, clauseSt)
+			for _, s := range c.Body {
+				if clauseSt.dead {
+					break
+				}
+				tr.stmt(s, clauseSt)
+			}
+		}
+		if merged == nil {
+			merged = clauseSt
+		} else {
+			merged.mergeWith(clauseSt)
+		}
+	}
+	if !isSelect && !hasDefault {
+		merged.mergeWith(entry)
+	}
+	*st = *merged
+}
+
+// objKey names one object uniquely and deterministically within a
+// package: its declaration position plus its name. Keys are only
+// compared, never printed.
+func objKey(o types.Object) string {
+	return strconv.FormatInt(int64(o.Pos()), 10) + "/" + o.Name()
+}
+
+// exprKey renders a simple access path (identifier, selector chain,
+// optionally behind derefs/parens/indexing) as a stable key rooted at
+// the path's base object. Two expressions get the same key exactly
+// when they name the same variable through the same field path, which
+// is what makes `c.mu.Lock()` discharge the guard obligation of
+// `c.items`. Non-path expressions (calls, literals) are not trackable.
+func exprKey(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if obj == nil {
+			return "", false
+		}
+		return objKey(obj), true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(pass, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		return exprKey(pass, x.X)
+	case *ast.IndexExpr:
+		return exprKey(pass, x.X)
+	}
+	return "", false
+}

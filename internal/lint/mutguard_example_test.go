@@ -1,0 +1,27 @@
+package lint
+
+import "fmt"
+
+// ExampleNewMutguard_netmut documents how the roadmap's rtl entry will
+// be registered once internal/rtl grows move-style mutators. Today
+// rtl.Netlist is assembled exactly once inside Emit and returned
+// complete — there is no incremental mutation to confine, so wiring a
+// netmut instance into the suite now would only add an analyzer that
+// can never fire. When netlist assembly becomes incremental (e.g. a
+// future emit-then-patch flow for engineering change orders), this
+// config is the registration: add it to Suite() next to graphmut and
+// costmut, and the summary fields become writable only inside
+// internal/rtl.
+func ExampleNewMutguard_netmut() {
+	netmut := NewMutguard(MutguardConfig{
+		Name:             "netmut",
+		GuardedPkgSuffix: "internal/rtl",
+		GuardedType:      "Netlist",
+		Fields:           []string{"FUs", "Regs", "Muxes", "MuxInputs"},
+	})
+	fmt.Println(netmut.Name)
+	fmt.Println(netmut.Doc)
+	// Output:
+	// netmut
+	// restricts writes to Netlist guarded fields to the designated mutation boundary (internal/rtl)
+}

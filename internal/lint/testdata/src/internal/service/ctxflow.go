@@ -1,0 +1,90 @@
+// Package service exercises every diagnostic of the ctxflow analyzer:
+// ctx-not-first parameters, contexts declared in or stored into struct
+// fields, Background()/TODO() on paths that already carry a ctx, and
+// cancel functions that are discarded, leaked on a branch, or handed
+// to a goroutine without the spawner releasing them — plus the legal
+// patterns (defer cancel, branch-local release, explicit hand-off)
+// that must stay silent.
+package service
+
+import (
+	"context"
+	"time"
+)
+
+type server struct {
+	name string
+	ctx  context.Context // want "context.Context must not be stored in a struct field"
+}
+
+func use(context.Context) {}
+
+func keep(context.Context, context.CancelFunc) {}
+
+func badOrder(name string, ctx context.Context) { // want "context.Context must be the first parameter"
+	use(ctx)
+	_ = name
+}
+
+func goodOrder(ctx context.Context, name string) {
+	use(ctx)
+	_ = name
+}
+
+func storesCtx(ctx context.Context, s *server) {
+	s.ctx = ctx // want "context.Context stored into struct field s.ctx"
+}
+
+func newServer(ctx context.Context) *server {
+	return &server{ctx: ctx} // want "context.Context stored into struct field ctx"
+}
+
+func freshCtx(ctx context.Context) context.Context {
+	return context.Background() // want "in a function that already receives a context"
+}
+
+func todoCtx(ctx context.Context) context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+func discardCancel(ctx context.Context) context.Context {
+	ctx2, _ := context.WithTimeout(ctx, time.Second) // want "context cancel function discarded as _"
+	return ctx2
+}
+
+func leakOnPath(ctx context.Context, flag bool) {
+	ctx2, cancel := context.WithCancel(ctx)
+	if flag {
+		use(ctx2)
+		return // want "context cancel function cancel may not be called on this return path"
+	}
+	cancel()
+}
+
+func spawnAndLeak(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	go func() {
+		cancel()
+		<-ctx2.Done()
+	}()
+} // want "context cancel function cancel may not be called on this return path"
+
+func deferredCancel(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(ctx2)
+}
+
+func branchLocalCancel(ctx context.Context, timeout time.Duration) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	use(ctx)
+}
+
+func handOff(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	keep(ctx2, cancel)
+}

@@ -13,9 +13,9 @@ import (
 // result is not a deterministic function of the key.
 type resultCache struct {
 	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	max   int                      // immutable after construction
+	order *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup deduplicates identical in-flight work (singleflight): the
 // first caller for a key becomes the leader and runs fn; callers
@@ -10,9 +13,15 @@ import "sync"
 // owns longer-term reuse).
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[string]*flightCall // guarded by mu
 }
 
+// flightCall fields are not guarded by flightGroup.mu through the
+// whole call lifetime: waiters is written under the group's mu, while
+// out is written only by the leader before close(done) and read by
+// waiters only after <-done, so the channel close is the
+// happens-before edge (a cross-struct protocol lockguard's sibling
+// annotation grammar deliberately does not express).
 type flightCall struct {
 	done    chan struct{}
 	out     *outcome
@@ -25,14 +34,24 @@ func newFlightGroup() *flightGroup {
 
 // do runs fn once per key among concurrent callers and returns its
 // outcome plus whether this caller shared a leader's run rather than
-// performing its own.
-func (g *flightGroup) do(key string, fn func() *outcome) (out *outcome, shared bool) {
+// performing its own. A caller that arrives while a leader is running
+// parks until the leader finishes or the caller's own ctx is done,
+// whichever comes first; on ctx expiry it returns ctx.Err() and the
+// leader keeps running (and still populates the result cache). The
+// leader itself is never interrupted by ctx — its outcome is shared by
+// other waiters, so its lifetime is governed by the allocation
+// deadline, not by whichever caller happened to arrive first.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *outcome) (out *outcome, shared bool, err error) {
 	g.mu.Lock()
 	if c, inFlight := g.calls[key]; inFlight {
 		c.waiters++
 		g.mu.Unlock()
-		<-c.done
-		return c.out, true
+		select {
+		case <-c.done:
+			return c.out, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c
@@ -43,7 +62,7 @@ func (g *flightGroup) do(key string, fn func() *outcome) (out *outcome, shared b
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.out, false
+	return c.out, false, nil
 }
 
 // inFlight reports the number of callers currently waiting on the

@@ -46,18 +46,25 @@ type JobStatus struct {
 // job is the registry's mutable record of one async submission.
 type job struct {
 	mu       sync.Mutex
-	id       string
-	state    string
-	progress JobProgress
-	status   int
-	body     []byte
+	id       string      // immutable after creation
+	state    string      // guarded by mu
+	progress JobProgress // guarded by mu
+	status   int         // guarded by mu
+	body     []byte      // guarded by mu
 }
 
 // engineEvent folds one engine telemetry event into the job's progress.
 // It is the engine's Events callback, so invocations are serialized.
+// Events arriving after the job reached a terminal state are dropped:
+// a finished job's progress is part of its terminal outcome and must
+// never change afterwards (a stale engine callback racing finish would
+// otherwise mutate it).
 func (j *job) engineEvent(ev engine.Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state == jobDone || j.state == jobFailed {
+		return
+	}
 	switch ev.Kind {
 	case engine.EventJobStarted:
 		j.progress.PortfolioJobsStarted++
@@ -116,9 +123,9 @@ func (j *job) statusJSON() JobStatus {
 // are rejected so the registry cannot grow without limit.
 type jobRegistry struct {
 	mu      sync.Mutex
-	jobs    map[string]*job
-	seq     int
-	maxJobs int
+	jobs    map[string]*job // guarded by mu
+	seq     int             // guarded by mu
+	maxJobs int             // immutable after construction
 }
 
 func newJobRegistry(maxJobs int) *jobRegistry {

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"salsa/internal/engine"
+	"salsa/internal/workloads"
+)
+
+// TestJobLifecycleThroughDrain: a job running when drain begins is
+// allowed to finish; after drain completes its status endpoint reports
+// the terminal state, and a finished job's progress is frozen — stale
+// engine callbacks arriving afterwards must not mutate it (the
+// behavior the lockguard annotations on job's fields claim).
+func TestJobLifecycleThroughDrain(t *testing.T) {
+	e := newTestServer(t, Config{})
+	gate := make(chan struct{})
+	e.s.runStarted = func(*allocSpec) { <-gate }
+	body := allocBody(t, workloads.Figure1(), nil)
+
+	status, _, out := e.post(t, "/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", status, out)
+	}
+	var sub struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(out, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit response %q: %v", out, err)
+	}
+
+	// Drain begins while the job's engine run is parked on the gate.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- e.s.Drain(ctx)
+	}()
+	waitFor(t, "drain mode", func() bool { return e.s.Draining() })
+
+	// The status endpoint stays available during drain (observability
+	// is not allocation work) and reports the still-running job.
+	jobStatus := func() JobStatus {
+		t.Helper()
+		code, body := e.get(t, sub.StatusURL)
+		if code != http.StatusOK {
+			t.Fatalf("status endpoint during lifecycle: %d", code)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("decoding job status %q: %v", body, err)
+		}
+		return st
+	}
+	if st := jobStatus(); st.State != jobQueued && st.State != jobRunning {
+		t.Errorf("job state during drain %q, want queued or running", st.State)
+	}
+
+	// Drain waits for the job; once released, drain completes and the
+	// job is terminal.
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := jobStatus()
+	if st.State != jobDone {
+		t.Fatalf("job state after drain %q, want %q (status %+v)", st.State, jobDone, st)
+	}
+	if st.HTTPStatus != http.StatusOK || len(st.Result) == 0 {
+		t.Errorf("terminal job missing outcome: %+v", st)
+	}
+
+	// A stale engine callback after the terminal transition is dropped:
+	// the finished job's progress is part of its recorded outcome.
+	j := e.s.jobs.get(sub.ID)
+	if j == nil {
+		t.Fatal("job vanished from the registry")
+	}
+	before := st.Progress
+	j.engineEvent(engine.Event{Kind: engine.EventImproved, Cost: 1, Trial: 999})
+	j.engineEvent(engine.Event{Kind: engine.EventJobFinished})
+	if after := jobStatus().Progress; after != before {
+		t.Errorf("finished job's progress mutated by stale events:\nbefore %+v\n after %+v", before, after)
+	}
+}

@@ -20,18 +20,19 @@ type metrics struct {
 	// HTTP surface.
 	httpRequests atomic.Int64 // every request that reached a handler
 	respMu       sync.Mutex
-	respByCode   map[int]int64 // status code -> responses written
+	respByCode   map[int]int64 // guarded by respMu; status code -> responses written
 
 	// Allocation pipeline.
-	allocRequests atomic.Int64 // requests that reached /allocate or /jobs
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	flightLeads   atomic.Int64 // singleflight leaders (one engine run each)
-	flightShared  atomic.Int64 // followers served from a leader's run
-	engineRuns    atomic.Int64 // engine invocations this server performed
-	partials      atomic.Int64 // deadline-truncated 200s
-	timeoutsEmpty atomic.Int64 // 408s: deadline before any allocation
-	queueRejected atomic.Int64 // 429s
+	allocRequests   atomic.Int64 // requests that reached /allocate or /jobs
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	flightLeads     atomic.Int64 // singleflight leaders (one engine run each)
+	flightShared    atomic.Int64 // followers served from a leader's run
+	flightAbandoned atomic.Int64 // parked waiters whose request ctx expired first
+	engineRuns      atomic.Int64 // engine invocations this server performed
+	partials        atomic.Int64 // deadline-truncated 200s
+	timeoutsEmpty   atomic.Int64 // 408s: deadline before any allocation
+	queueRejected   atomic.Int64 // 429s
 
 	// Gauges.
 	queueDepth atomic.Int64 // requests admitted but waiting for a slot
@@ -114,6 +115,7 @@ func (m *metrics) writePrometheus(w io.Writer, cacheEntries int) {
 	gauge("salsa_cache_entries", "Result-cache resident entries.", int64(cacheEntries))
 	counter("salsa_singleflight_leader_total", "Requests that led an engine run.", m.flightLeads.Load())
 	counter("salsa_singleflight_shared_total", "Requests deduplicated onto an in-flight identical run.", m.flightShared.Load())
+	counter("salsa_singleflight_abandoned_total", "Parked singleflight waiters whose request context expired before the leader finished.", m.flightAbandoned.Load())
 	counter("salsa_engine_invocations_total", "Engine runs this server performed.", m.engineRuns.Load())
 	counter("salsa_partial_results_total", "Deadline-truncated results served (HTTP 200, partial).", m.partials.Load())
 	counter("salsa_deadline_empty_total", "Deadlines that fired before any allocation existed (HTTP 408).", m.timeoutsEmpty.Load())
@@ -145,23 +147,24 @@ func (m *metrics) writePrometheus(w io.Writer, cacheEntries int) {
 // publication and test reconciliation.
 func (m *metrics) snapshot(cacheEntries int) map[string]int64 {
 	out := map[string]int64{
-		"http_requests_total":       m.httpRequests.Load(),
-		"allocate_requests_total":   m.allocRequests.Load(),
-		"cache_hits_total":          m.cacheHits.Load(),
-		"cache_misses_total":        m.cacheMisses.Load(),
-		"cache_entries":             int64(cacheEntries),
-		"singleflight_leader_total": m.flightLeads.Load(),
-		"singleflight_shared_total": m.flightShared.Load(),
-		"engine_invocations_total":  m.engineRuns.Load(),
-		"partial_results_total":     m.partials.Load(),
-		"deadline_empty_total":      m.timeoutsEmpty.Load(),
-		"queue_rejected_total":      m.queueRejected.Load(),
-		"queue_depth":               m.queueDepth.Load(),
-		"active_runs":               m.activeRuns.Load(),
-		"jobs_submitted_total":      m.jobsSubmitted.Load(),
-		"jobs_finished_total":       m.jobsFinished.Load(),
-		"request_duration_ms_sum":   m.latency.sumMS.Load(),
-		"request_duration_ms_count": m.latency.count.Load(),
+		"http_requests_total":          m.httpRequests.Load(),
+		"allocate_requests_total":      m.allocRequests.Load(),
+		"cache_hits_total":             m.cacheHits.Load(),
+		"cache_misses_total":           m.cacheMisses.Load(),
+		"cache_entries":                int64(cacheEntries),
+		"singleflight_leader_total":    m.flightLeads.Load(),
+		"singleflight_shared_total":    m.flightShared.Load(),
+		"singleflight_abandoned_total": m.flightAbandoned.Load(),
+		"engine_invocations_total":     m.engineRuns.Load(),
+		"partial_results_total":        m.partials.Load(),
+		"deadline_empty_total":         m.timeoutsEmpty.Load(),
+		"queue_rejected_total":         m.queueRejected.Load(),
+		"queue_depth":                  m.queueDepth.Load(),
+		"active_runs":                  m.activeRuns.Load(),
+		"jobs_submitted_total":         m.jobsSubmitted.Load(),
+		"jobs_finished_total":          m.jobsFinished.Load(),
+		"request_duration_ms_sum":      m.latency.sumMS.Load(),
+		"request_duration_ms_count":    m.latency.count.Load(),
 	}
 	codes, counts := m.responses()
 	for i, code := range codes {

@@ -297,7 +297,17 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.cacheMisses.Add(1)
 	w.Header().Set("X-Salsa-Cache", "miss")
-	out, shared := s.flight.do(spec.key, func() *outcome { return s.runAllocation(spec) })
+	out, shared, err := s.flight.do(r.Context(), spec.key, func() *outcome { return s.runAllocation(spec) })
+	if err != nil {
+		// This caller was parked behind an identical in-flight run and
+		// its own request context expired first. The leader keeps
+		// running (and still fills the cache); this caller alone gives
+		// up with 408.
+		s.metrics.flightAbandoned.Add(1)
+		writeJSON(w, http.StatusRequestTimeout,
+			errorBody("request abandoned while waiting on an identical in-flight run: "+err.Error()))
+		return
+	}
 	if shared {
 		s.metrics.flightShared.Add(1)
 		w.Header().Set("X-Salsa-Flight", "shared")
@@ -340,7 +350,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer s.work.Done()
 			j.setState(jobRunning)
-			out, shared := s.flight.do(spec.key, func() *outcome { return s.runAllocation(spec) })
+			// The job deliberately outlives the submitting request: its
+			// lifetime is the engine run's, so it waits on a background
+			// context, never the request's.
+			//lint:ctxflow async job survives the submitting request by design
+			out, shared, _ := s.flight.do(context.Background(), spec.key, func() *outcome { return s.runAllocation(spec) })
 			if shared {
 				s.metrics.flightShared.Add(1)
 			} else {

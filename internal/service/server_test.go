@@ -645,7 +645,7 @@ func TestFlightGroup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, _ := g.do("k", func() *outcome {
+			out, _, _ := g.do(context.Background(), "k", func() *outcome {
 				calls++
 				<-gate
 				return &outcome{status: int(calls)}
@@ -665,7 +665,7 @@ func TestFlightGroup(t *testing.T) {
 		}
 	}
 	// After completion the key is forgotten: a new call runs fn again.
-	out, shared := g.do("k", func() *outcome { calls++; return &outcome{} })
+	out, shared, _ := g.do(context.Background(), "k", func() *outcome { calls++; return &outcome{} })
 	if shared || calls != 2 {
 		t.Errorf("post-completion call: shared=%t calls=%d, want fresh run", shared, calls)
 	}
