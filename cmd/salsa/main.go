@@ -24,6 +24,7 @@ import (
 
 	"salsa"
 	"salsa/internal/cdfg"
+	"salsa/internal/client"
 	"salsa/internal/core"
 	"salsa/internal/datapath"
 	"salsa/internal/dpsim"
@@ -34,6 +35,7 @@ import (
 	"salsa/internal/report"
 	"salsa/internal/rtl"
 	"salsa/internal/sched"
+	"salsa/internal/service"
 	"salsa/internal/workloads"
 )
 
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scheduler = fs.String("scheduler", "list", "scheduler: list (resource-constrained) or fds (force-directed)")
 		verify    = fs.Bool("verify", true, "cross-check the allocation by cycle-accurate simulation")
 		jsonMode  = fs.Bool("json", false, "emit the machine-readable result schema (same document salsad serves) instead of prose")
+		remote    = fs.String("remote", "", "salsad base URL, e.g. http://127.0.0.1:8080: allocate via the service (retrying on transient failures) instead of locally; implies -json output")
 		dotOut    = fs.String("dot", "", "write the CDFG in Graphviz DOT form to this file")
 		jsonOut   = fs.String("dump-json", "", "write the CDFG in the hand-authorable JSON schema to this file")
 		rtlOut    = fs.String("rtl", "", "write the structural RTL netlist to this file")
@@ -80,17 +83,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
-	if *jsonMode {
+	if *jsonMode || *remote != "" {
 		// Machine-readable mode: execute through the same request-level
 		// path the salsad service uses, so `salsa -json` output is
 		// byte-identical to a service response body for the same
 		// request. Prose flags (-v, -chart, ...) are ignored here.
-		return runJSON(stdout, stderr, g, jsonParams{
+		p := jsonParams{
 			steps: *steps, pipelined: *pipelined, extraRegs: *extraRegs,
 			fds:  strings.EqualFold(*scheduler, "fds"),
 			mode: *mode, seed: *seed, restarts: *restarts,
 			workers: *workers, timeout: *timeout, verify: *verify,
-		})
+		}
+		if *remote != "" {
+			return runRemote(stdout, stderr, g, p, *remote)
+		}
+		return runJSON(stdout, stderr, g, p)
 	}
 
 	fmt.Fprintln(stdout, g.Stats())
@@ -305,6 +312,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s (%d FUs, %d registers, %d merged muxes)\n", *rtlOut, nl.FUs, nl.Regs, nl.Muxes)
 	}
+	return 0
+}
+
+// runRemote ships the allocation to a salsad service and prints the
+// response body — the same ResultJSON document runJSON prints, served
+// remotely. The client retries transient failures (connection errors,
+// 408/429/5xx) with capped jittered backoff, honoring Retry-After.
+func runRemote(stdout, stderr io.Writer, g *cdfg.Graph, p jsonParams, baseURL string) int {
+	graphJSON, err := g.MarshalJSON()
+	if err != nil {
+		fmt.Fprintln(stderr, "salsa:", err)
+		return 1
+	}
+	ar := &service.AllocateRequest{
+		Graph:                graphJSON,
+		Steps:                p.steps,
+		PipelinedMultipliers: p.pipelined,
+		ExtraRegisters:       p.extraRegs,
+		ForceDirected:        p.fds,
+		Mode:                 strings.ToLower(p.mode),
+		Seed:                 p.seed,
+		Restarts:             p.restarts,
+		TimeoutMS:            p.timeout.Milliseconds(),
+	}
+	c := client.New(client.Config{BaseURL: strings.TrimRight(baseURL, "/"), Seed: p.seed})
+	res, err := c.Do(context.Background(), ar)
+	if err != nil {
+		fmt.Fprintln(stderr, "salsa:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, string(res.Body))
 	return 0
 }
 

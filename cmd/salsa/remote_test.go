@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"salsa/internal/service"
+)
+
+// TestRemoteMatchesLocalJSON: `salsa -remote <url>` must print the
+// exact bytes `salsa -json` prints for the same request — the service
+// round trip is invisible — even when the service sheds the first
+// attempt with a 503 (the client retries).
+func TestRemoteMatchesLocalJSON(t *testing.T) {
+	srv := service.New(service.Config{})
+	var calls atomic.Int64
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/allocate") && calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if _, werr := w.Write([]byte(`{"error":"injected"}`)); werr != nil {
+				t.Error(werr)
+			}
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	args := []string{"-bench", "figure1", "-restarts", "2", "-seed", "1", "-verify=false"}
+	var local, remote, stderr bytes.Buffer
+	if code := run(append(args, "-json"), &local, &stderr); code != 0 {
+		t.Fatalf("local -json exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run(append(args, "-remote", ts.URL), &remote, &stderr); code != 0 {
+		t.Fatalf("-remote exit %d, stderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Errorf("-remote output differs from local -json:\n got %s\nwant %s", remote.Bytes(), local.Bytes())
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("allocate round trips = %d, want 2 (one shed, one served)", got)
+	}
+}
+
+// TestRemoteRejectedRequest: a non-retryable rejection (HTTP 400) is a
+// clean immediate failure carrying the server's message — no retries.
+func TestRemoteRejectedRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		if _, werr := w.Write([]byte(`{"error":"graph rejected"}`)); werr != nil {
+			t.Error(werr)
+		}
+	}))
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "figure1", "-remote", ts.URL}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "graph rejected") {
+		t.Errorf("stderr %q lost the server's message", stderr.String())
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("made %d requests, want 1 (400 must not be retried)", got)
+	}
+}

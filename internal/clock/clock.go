@@ -1,0 +1,88 @@
+// Package clock abstracts the serving layer's time source so the
+// simulation-test harness (internal/simtest) can run request scenarios
+// in virtual time. Production code uses System, which delegates to
+// package time; tests substitute Virtual, which only moves when a test
+// (or the auto-advance pump) says so.
+//
+// The pure search packages never import this package: they are
+// clock-free by contract (enforced by the detrand analyzer), and the
+// engine's wall-clock reads are telemetry only. The clock matters in
+// the layers where time has semantics — request deadlines, admission
+// queue waits, retry backoff — which is exactly the surface the chaos
+// harness needs to control.
+package clock
+
+import (
+	"context"
+	"time"
+)
+
+// Clock is the time source threaded through the service and client
+// layers.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// Since reports the time elapsed since t.
+	Since(t time.Time) time.Duration
+	// NewTimer returns a timer that fires once, d from now. On a
+	// Virtual clock this is a deadline-class timer: it fires only when
+	// virtual time is moved past it, never by the auto-advance pump
+	// alone (see Virtual).
+	NewTimer(d time.Duration) Timer
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case. On a Virtual clock this is a sleep-class wait:
+	// the auto-advance pump moves time forward to release it.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Timer is a single-shot timer. Its channel receives exactly one value
+// when the timer fires; Stop prevents an unfired timer from firing.
+type Timer interface {
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// System is the production clock: plain delegation to package time.
+type System struct{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (System) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTimer implements Clock.
+func (System) NewTimer(d time.Duration) Timer { return sysTimer{time.NewTimer(d)} }
+
+// Sleep implements Clock.
+func (System) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+type sysTimer struct{ t *time.Timer }
+
+func (s sysTimer) C() <-chan time.Time { return s.t.C }
+func (s sysTimer) Stop() bool          { return s.t.Stop() }
+
+// WithTimeout derives a context that is cancelled d after now according
+// to c. For the System clock it is exactly context.WithTimeout; for any
+// other clock the deadline is a clock timer, so virtual-time tests see
+// deadlines fire in virtual time. As with context.WithTimeout, the
+// returned cancel must be called to release resources.
+func WithTimeout(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if _, ok := c.(System); ok {
+		return context.WithTimeout(parent, d)
+	}
+	return newDeadlineCtx(parent, c, d)
+}

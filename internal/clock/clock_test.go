@@ -1,0 +1,290 @@
+package clock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemClockBasics(t *testing.T) {
+	var c Clock = System{}
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Error("Since went backwards")
+	}
+	if err := c.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Errorf("Sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Sleep: %v, want Canceled", err)
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system timer never fired")
+	}
+}
+
+func TestSystemWithTimeoutIsContextWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), System{}, time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+// TestVirtualAdvanceFiresInOrder: timers fire in chronological order as
+// time passes them, and only then.
+func TestVirtualAdvanceFiresInOrder(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	a := v.NewTimer(10 * time.Millisecond)
+	b := v.NewTimer(20 * time.Millisecond)
+	if v.PendingTimers() != 2 {
+		t.Fatalf("pending %d, want 2", v.PendingTimers())
+	}
+	v.Advance(5 * time.Millisecond)
+	select {
+	case <-a.C():
+		t.Fatal("timer a fired 5ms early")
+	default:
+	}
+	v.Advance(5 * time.Millisecond)
+	at := <-a.C()
+	if got := at.Sub(t0); got != 10*time.Millisecond {
+		t.Errorf("a fired at +%v, want +10ms", got)
+	}
+	select {
+	case <-b.C():
+		t.Fatal("timer b fired early")
+	default:
+	}
+	v.Advance(time.Hour)
+	bt := <-b.C()
+	if got := bt.Sub(t0); got != 20*time.Millisecond {
+		t.Errorf("b fired at +%v (time moves through timers in order), want +20ms", got)
+	}
+	if v.Since(t0) != time.Hour+10*time.Millisecond {
+		t.Errorf("now advanced by %v, want 1h10ms", v.Since(t0))
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Error("Stop on a pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported true")
+	}
+	v.Advance(time.Hour)
+	select {
+	case <-tm.C():
+		t.Error("stopped timer fired")
+	default:
+	}
+	imm := v.NewTimer(0)
+	select {
+	case <-imm.C():
+	default:
+		t.Error("zero-duration timer did not fire immediately")
+	}
+}
+
+// TestVirtualSleepClasses: AdvanceToNextSleep releases sleeps (and any
+// deadline on the way) but never moves time for a deadline alone.
+func TestVirtualSleepClasses(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+
+	deadline := v.NewTimer(5 * time.Millisecond)
+	if v.AdvanceToNextSleep() {
+		t.Fatal("AdvanceToNextSleep moved time with only a deadline pending")
+	}
+	if v.Since(t0) != 0 {
+		t.Fatalf("time moved to %v for a deadline nobody sleeps toward", v.Since(t0))
+	}
+
+	slept := make(chan error, 1)
+	go func() { slept <- v.Sleep(context.Background(), 10*time.Millisecond) }()
+	waitForPending(t, v, 2)
+	if !v.AdvanceToNextSleep() {
+		t.Fatal("AdvanceToNextSleep found no sleep")
+	}
+	if err := <-slept; err != nil {
+		t.Errorf("Sleep: %v", err)
+	}
+	// The 5ms deadline was on the way to the 10ms sleep: both fired.
+	select {
+	case <-deadline.C():
+	default:
+		t.Error("deadline on the way to the sleep did not fire")
+	}
+	if v.Since(t0) != 10*time.Millisecond {
+		t.Errorf("now at +%v, want +10ms", v.Since(t0))
+	}
+}
+
+func TestVirtualSleepCancel(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := context.WithCancel(context.Background())
+	slept := make(chan error, 1)
+	go func() { slept <- v.Sleep(ctx, time.Hour) }()
+	waitForPending(t, v, 1)
+	cancel()
+	if err := <-slept; !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep after cancel: %v, want Canceled", err)
+	}
+	if v.PendingTimers() != 0 {
+		t.Errorf("cancelled sleep leaked its timer (%d pending)", v.PendingTimers())
+	}
+}
+
+// TestVirtualWithTimeout: a clock-driven deadline context expires when
+// virtual time passes it, with DeadlineExceeded; cancel yields
+// Canceled; parent cancellation propagates.
+func TestVirtualWithTimeout(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := WithTimeout(context.Background(), v, 30*time.Millisecond)
+	defer cancel()
+	if ctx.Err() != nil {
+		t.Fatalf("fresh ctx Err = %v", ctx.Err())
+	}
+	if d, ok := ctx.Deadline(); !ok || d.Sub(virtualEpoch) != 30*time.Millisecond {
+		t.Errorf("Deadline = %v,%t", d, ok)
+	}
+	v.Advance(29 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+		t.Fatal("ctx done 1ms before its deadline")
+	default:
+	}
+	v.Advance(time.Millisecond)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("ctx never expired after its deadline passed")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+
+	ctx2, cancel2 := WithTimeout(context.Background(), v, time.Hour)
+	cancel2()
+	<-ctx2.Done()
+	if !errors.Is(ctx2.Err(), context.Canceled) {
+		t.Errorf("cancelled Err = %v, want Canceled", ctx2.Err())
+	}
+	if v.PendingTimers() != 0 {
+		t.Errorf("cancelled deadline ctx leaked its timer (%d pending)", v.PendingTimers())
+	}
+
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx3, cancel3 := WithTimeout(parent, v, time.Hour)
+	defer cancel3()
+	pcancel()
+	select {
+	case <-ctx3.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+	if !errors.Is(ctx3.Err(), context.Canceled) {
+		t.Errorf("Err after parent cancel = %v, want Canceled", ctx3.Err())
+	}
+}
+
+type ctxKey struct{}
+
+func TestVirtualWithTimeoutValueAndParentDeadline(t *testing.T) {
+	v := NewVirtual()
+	parent := context.WithValue(context.Background(), ctxKey{}, "yes")
+	inner, icancel := WithTimeout(parent, v, time.Minute)
+	defer icancel()
+	outer, ocancel := WithTimeout(inner, v, time.Hour)
+	defer ocancel()
+	if got := outer.Value(ctxKey{}); got != "yes" {
+		t.Errorf("Value = %v, want yes", got)
+	}
+	// The effective deadline is the earlier of parent and own.
+	if d, ok := outer.Deadline(); !ok || d.Sub(virtualEpoch) != time.Minute {
+		t.Errorf("merged Deadline = %v,%t, want inner's +1m", d, ok)
+	}
+}
+
+// TestVirtualAutoAdvance: the pump releases chained sleeps without any
+// manual Advance calls.
+func TestVirtualAutoAdvance(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AutoAdvance(100 * time.Microsecond)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := v.Sleep(context.Background(), time.Duration(i+1)*time.Second); err != nil {
+				t.Errorf("sleep %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("auto-advance never released the sleeps")
+	}
+	if got := v.Since(virtualEpoch); got != 55*time.Second {
+		t.Errorf("virtual time at %v, want 55s", got)
+	}
+}
+
+// TestVirtualConcurrentSleepers: many goroutines sleeping and advancing
+// concurrently neither deadlock nor lose wakeups (exercised under
+// -race in CI).
+func TestVirtualConcurrentSleepers(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AutoAdvance(50 * time.Microsecond)
+	defer stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				d := time.Duration((i*7+k*13)%40+1) * time.Millisecond
+				if err := v.Sleep(context.Background(), d); err != nil {
+					t.Errorf("sleeper %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent sleepers deadlocked")
+	}
+}
+
+func waitForPending(t *testing.T, v *Virtual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for v.PendingTimers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d pending timers (have %d)", n, v.PendingTimers())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,82 @@
+package clock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// deadlineCtx is a context whose deadline is enforced by a Clock timer
+// rather than the runtime's monotonic clock, so virtual-time tests see
+// request deadlines expire when virtual time passes them. It mirrors
+// context.WithTimeout semantics: Err is context.DeadlineExceeded after
+// expiry, context.Canceled after an explicit cancel, and the parent's
+// error when the parent finished first.
+type deadlineCtx struct {
+	parent   context.Context
+	deadline time.Time
+	done     chan struct{}
+
+	mu  sync.Mutex
+	err error // guarded by mu
+}
+
+func newDeadlineCtx(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	dc := &deadlineCtx{
+		parent:   parent,
+		deadline: c.Now().Add(d),
+		done:     make(chan struct{}),
+	}
+	t := c.NewTimer(d)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-t.C():
+			dc.finish(context.DeadlineExceeded)
+		case <-parent.Done():
+			t.Stop()
+			dc.finish(parent.Err())
+		case <-stop:
+			t.Stop()
+		}
+	}()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() { close(stop) })
+		// Stop the timer here too (not only in the goroutine) so the
+		// clock's pending set is already clean when cancel returns.
+		t.Stop()
+		dc.finish(context.Canceled)
+	}
+	return dc, cancel
+}
+
+// finish records the first terminal error and closes done; later calls
+// are no-ops, so the deadline firing and an explicit cancel cannot
+// race into an inconsistent state.
+func (d *deadlineCtx) finish(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return
+	}
+	d.err = err
+	close(d.done)
+}
+
+func (d *deadlineCtx) Deadline() (time.Time, bool) {
+	if pd, ok := d.parent.Deadline(); ok && pd.Before(d.deadline) {
+		return pd, true
+	}
+	return d.deadline, true
+}
+
+func (d *deadlineCtx) Done() <-chan struct{} { return d.done }
+
+func (d *deadlineCtx) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *deadlineCtx) Value(key any) any { return d.parent.Value(key) }

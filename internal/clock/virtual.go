@@ -1,0 +1,191 @@
+package clock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// timerKind separates the two roles a virtual timer plays. The
+// distinction is what makes whole-request scenarios runnable: the
+// auto-advance pump moves time forward only far enough to release the
+// earliest *sleep* (retry backoff, poll intervals, injected engine
+// stalls), and *deadlines* (request timeouts, queue waits) fire only
+// when that movement passes them. A run with no pending sleeps holds
+// time still, so real-time computation — an engine run between trial
+// boundaries — can never be cancelled by a deadline that nothing was
+// actually waiting out.
+type timerKind int
+
+const (
+	kindDeadline timerKind = iota
+	kindSleep
+)
+
+// Virtual is a manually advanced clock for simulation tests. The zero
+// value is not usable; construct with NewVirtual. All methods are safe
+// for concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time            // guarded by mu
+	timers map[*vtimer]struct{} // guarded by mu
+}
+
+// virtualEpoch is the fixed start instant of every Virtual clock, so
+// timestamps appearing in logs and results are reproducible run to run.
+var virtualEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtual returns a virtual clock frozen at a fixed epoch.
+func NewVirtual() *Virtual {
+	return &Virtual{now: virtualEpoch, timers: make(map[*vtimer]struct{})}
+}
+
+type vtimer struct {
+	v    *Virtual
+	when time.Time
+	kind timerKind
+	ch   chan time.Time
+}
+
+func (t *vtimer) C() <-chan time.Time { return t.ch }
+
+func (t *vtimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if _, pending := t.v.timers[t]; !pending {
+		return false
+	}
+	delete(t.v.timers, t)
+	return true
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// NewTimer implements Clock; the timer is deadline-class (see
+// timerKind).
+func (v *Virtual) NewTimer(d time.Duration) Timer { return v.newTimer(d, kindDeadline) }
+
+func (v *Virtual) newTimer(d time.Duration, kind timerKind) *vtimer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &vtimer{v: v, when: v.now.Add(d), kind: kind, ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- v.now
+		return t
+	}
+	v.timers[t] = struct{}{}
+	return t
+}
+
+// Sleep implements Clock; the wait is sleep-class, so the auto-advance
+// pump will release it.
+func (v *Virtual) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := v.newTimer(d, kindSleep)
+	select {
+	case <-t.ch:
+		return nil
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
+}
+
+// Advance moves virtual time forward by d, firing every timer whose
+// instant is reached, in chronological order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.advanceToLocked(v.now.Add(d))
+}
+
+// advanceToLocked fires timers in chronological order up to target and
+// leaves now at target. Callers hold v.mu.
+func (v *Virtual) advanceToLocked(target time.Time) {
+	for {
+		next := v.earliestLocked(func(*vtimer) bool { return true })
+		if next == nil || next.when.After(target) {
+			break
+		}
+		if next.when.After(v.now) { //lint:lockguard advanceToLocked's callers hold v.mu
+			v.now = next.when
+		}
+		delete(v.timers, next) //lint:lockguard advanceToLocked's callers hold v.mu
+		next.ch <- v.now
+	}
+	if target.After(v.now) { //lint:lockguard advanceToLocked's callers hold v.mu
+		v.now = target
+	}
+}
+
+// earliestLocked returns the pending timer with the earliest instant
+// among those matching ok, breaking ties arbitrarily (ties fire at the
+// same virtual instant either way). Callers hold v.mu.
+func (v *Virtual) earliestLocked(ok func(*vtimer) bool) *vtimer {
+	var best *vtimer
+	//lint:maporder min-selection; timers tied at one instant fire at the same virtual time whichever is visited first
+	for t := range v.timers { //lint:lockguard earliestLocked's callers hold v.mu
+		if !ok(t) {
+			continue
+		}
+		if best == nil || t.when.Before(best.when) {
+			best = t
+		}
+	}
+	return best
+}
+
+// AdvanceToNextSleep moves time to the earliest pending sleep-class
+// timer, firing it and any deadline that falls on the way, and reports
+// whether a sleep was pending. Deadline-only pending sets leave time
+// untouched: a deadline with nothing sleeping toward it is a cutoff
+// nobody is waiting out.
+func (v *Virtual) AdvanceToNextSleep() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	next := v.earliestLocked(func(t *vtimer) bool { return t.kind == kindSleep })
+	if next == nil {
+		return false
+	}
+	v.advanceToLocked(next.when)
+	return true
+}
+
+// PendingTimers reports the number of unfired timers of both classes.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+// AutoAdvance starts a background pump that periodically (in real
+// time) releases the earliest pending sleep. It is how a scenario with
+// concurrent sleepers makes progress without the test choreographing
+// every Advance. The returned stop function halts the pump and must be
+// called exactly once.
+func (v *Virtual) AutoAdvance(poll time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				v.AdvanceToNextSleep()
+			}
+		}
+	}()
+	return func() { close(done) }
+}

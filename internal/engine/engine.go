@@ -69,6 +69,13 @@ type Config struct {
 	// are serialized; the callback must not block for long or it will
 	// stall the search workers.
 	Events func(Event)
+	// TrialHook, when non-nil, is invoked at every trial boundary of
+	// every job, before the pruning decision for that trial. It exists
+	// so simulation tests (internal/simtest) can pace or stall searches
+	// in virtual time; it must not influence search decisions — the
+	// trajectory a job records is identical with or without it — and it
+	// is never set in production.
+	TrialHook func(job, trial int)
 }
 
 // Run executes the portfolio against one shared (read-only) analysis
@@ -250,6 +257,9 @@ func (eng *run) runJob(ctx context.Context, a *lifetime.Analysis, hw *datapath.H
 		//lint:ctxflow core.Control is the allocator's designed context carrier
 		Ctx: ctx,
 		TrialEnd: func(trial int, best *binding.Binding, bestCost binding.Cost, improved bool, tried, accepted int) bool {
+			if eng.cfg.TrialHook != nil {
+				eng.cfg.TrialHook(idx, trial)
+			}
 			rec := trialRec{
 				total: bestCost.Total, cost: bestCost, improved: improved,
 				tried: tried, accepted: accepted,

@@ -91,6 +91,9 @@ func (s *Server) parseRequest(ar *AllocateRequest) (*allocSpec, error) {
 		timeout = s.cfg.MaxTimeout
 	}
 	req.Engine.Workers = s.cfg.EngineWorkers
+	if s.hooks != nil && s.hooks.TrialPause != nil {
+		req.Engine.TrialHook = s.hooks.TrialPause
+	}
 	fp := g.Fingerprint()
 	return &allocSpec{
 		req:         req,

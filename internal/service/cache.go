@@ -60,6 +60,17 @@ func (c *resultCache) put(key string, body []byte) {
 	}
 }
 
+// remove drops key if present (the simulation harness's forced
+// eviction; production never calls it).
+func (c *resultCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
 // len reports the current entry count.
 func (c *resultCache) len() int {
 	c.mu.Lock()

@@ -2,8 +2,14 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// errWakeupDropped is the injected-fault counterpart of a waiter's
+// context expiring: the simulated loss of the leader's completion
+// signal (see Hooks.FlightFault).
+var errWakeupDropped = errors.New("singleflight wakeup dropped (injected fault)")
 
 // flightGroup deduplicates identical in-flight work (singleflight): the
 // first caller for a key becomes the leader and runs fn; callers
@@ -14,6 +20,9 @@ import (
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall // guarded by mu
+	// fault, when non-nil, is consulted once by each waiter as it
+	// parks (Hooks.FlightFault). Set before serving, immutable after.
+	fault func(key string) FlightFault
 }
 
 // flightCall fields are not guarded by flightGroup.mu through the
@@ -46,8 +55,21 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() *outcome) (o
 	if c, inFlight := g.calls[key]; inFlight {
 		c.waiters++
 		g.mu.Unlock()
+		var fault FlightFault
+		if g.fault != nil {
+			fault = g.fault(key)
+		}
+		if fault == FlightDropWakeup {
+			return nil, true, errWakeupDropped
+		}
 		select {
 		case <-c.done:
+			if fault == FlightDupWakeup {
+				// Spurious second wakeup: done is closed, so this
+				// receive returns immediately and the outcome observed
+				// is the same terminal one — waking twice is harmless.
+				<-c.done
+			}
 			return c.out, true, nil
 		case <-ctx.Done():
 			return nil, true, ctx.Err()

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
+	"salsa/internal/clock"
 	"salsa/internal/engine"
 )
 
@@ -41,16 +43,23 @@ type JobStatus struct {
 	HTTPStatus int             `json:"http_status,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	// ElapsedMS is the job's age (terminal jobs: creation to finish;
+	// live jobs: creation to now), measured on the server's clock — a
+	// virtual clock under the simulation harness.
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // job is the registry's mutable record of one async submission.
 type job struct {
 	mu       sync.Mutex
 	id       string      // immutable after creation
+	clk      clock.Clock // immutable after creation
+	created  time.Time   // immutable after creation
 	state    string      // guarded by mu
 	progress JobProgress // guarded by mu
 	status   int         // guarded by mu
 	body     []byte      // guarded by mu
+	finished time.Time   // guarded by mu; zero until terminal
 }
 
 // engineEvent folds one engine telemetry event into the job's progress.
@@ -91,6 +100,7 @@ func (j *job) finish(status int, body []byte, merged bool) {
 	j.status = status
 	j.body = body
 	j.progress.Merged = merged
+	j.finished = j.clk.Now()
 	if status == 200 {
 		j.state = jobDone
 	} else {
@@ -103,6 +113,11 @@ func (j *job) statusJSON() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.id, State: j.state, Progress: j.progress}
+	end := j.finished
+	if end.IsZero() {
+		end = j.clk.Now()
+	}
+	st.ElapsedMS = end.Sub(j.created).Milliseconds()
 	if j.state == jobDone {
 		st.HTTPStatus = j.status
 		st.Result = json.RawMessage(j.body)
@@ -126,10 +141,11 @@ type jobRegistry struct {
 	jobs    map[string]*job // guarded by mu
 	seq     int             // guarded by mu
 	maxJobs int             // immutable after construction
+	clk     clock.Clock     // immutable after construction
 }
 
-func newJobRegistry(maxJobs int) *jobRegistry {
-	return &jobRegistry{jobs: make(map[string]*job), maxJobs: maxJobs}
+func newJobRegistry(maxJobs int, clk clock.Clock) *jobRegistry {
+	return &jobRegistry{jobs: make(map[string]*job), maxJobs: maxJobs, clk: clk}
 }
 
 // create registers a fresh queued job keyed by a sequence number and
@@ -141,7 +157,7 @@ func (r *jobRegistry) create(fingerprint string) (*job, error) {
 		return nil, fmt.Errorf("job registry full (%d jobs)", r.maxJobs)
 	}
 	r.seq++
-	j := &job{id: fmt.Sprintf("j%d-%.12s", r.seq, fingerprint), state: jobQueued}
+	j := &job{id: fmt.Sprintf("j%d-%.12s", r.seq, fingerprint), clk: r.clk, created: r.clk.Now(), state: jobQueued}
 	r.jobs[j.id] = j
 	return j, nil
 }

@@ -39,11 +39,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"salsa"
+	"salsa/internal/clock"
 )
 
 // Config tunes one Server.
@@ -68,6 +70,9 @@ type Config struct {
 	EngineWorkers int
 	// MaxJobs bounds the async job registry; 0 selects 1024.
 	MaxJobs int
+	// Hooks, when non-nil, installs test-only instrumentation (virtual
+	// clock, fault injection). Always nil in production; see Hooks.
+	Hooks *Hooks
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +108,11 @@ type Server struct {
 	cache   *resultCache
 	flight  *flightGroup
 	jobs    *jobRegistry
+	// clock is the server's time source: the system clock in
+	// production, a virtual clock under the simulation harness.
+	clock clock.Clock
+	// hooks is Config.Hooks (nil in production); see Hooks.
+	hooks *Hooks
 
 	// sem holds one token per running engine invocation.
 	sem      chan struct{}
@@ -125,17 +135,34 @@ type Server struct {
 // New builds a Server with cfg's zero values replaced by defaults.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	clk := clock.Clock(clock.System{})
+	if cfg.Hooks != nil && cfg.Hooks.Clock != nil {
+		clk = cfg.Hooks.Clock
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
 		cache:   newResultCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
-		jobs:    newJobRegistry(cfg.MaxJobs),
+		jobs:    newJobRegistry(cfg.MaxJobs, clk),
+		clock:   clk,
+		hooks:   cfg.Hooks,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		execute: salsa.Execute,
 	}
+	if cfg.Hooks != nil {
+		s.flight.fault = cfg.Hooks.FlightFault
+	}
 	publishExpvar(s)
 	return s
+}
+
+// MetricsSnapshot returns the service counters and gauges as a flat
+// map — the same document the salsa_service expvar publishes. The
+// simulation harness and property tests reconcile observed responses
+// against it.
+func (s *Server) MetricsSnapshot() map[string]int64 {
+	return s.metrics.snapshot(s.cache.len())
 }
 
 // Handler returns the service's HTTP mux.
@@ -202,7 +229,7 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // and the latency histogram.
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
+		t0 := s.clock.Now()
 		s.metrics.httpRequests.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r)
@@ -210,7 +237,7 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 			rec.status = http.StatusOK
 		}
 		s.metrics.response(rec.status)
-		s.metrics.latency.observe(time.Since(t0))
+		s.metrics.latency.observe(s.clock.Since(t0))
 	}
 }
 
@@ -267,12 +294,46 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) *allocSpe
 	return spec
 }
 
+// retryAfterSeconds derives the Retry-After hint from the load the
+// server can actually see: the requests already waiting for an engine
+// slot, batched by the slot count, at a nominal second per batch —
+// ceil((queued+1)/maxConcurrent) — clamped to [1, 30] so the hint
+// stays useful whatever the backlog. Every rejection path (admission
+// 429, drain 503, job-registry 429) shares this one derivation.
+func retryAfterSeconds(queued, maxConcurrent int) int {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	secs := queued/maxConcurrent + 1
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// retryAfterHint renders retryAfterSeconds for the current queue.
+func (s *Server) retryAfterHint() string {
+	return strconv.Itoa(retryAfterSeconds(int(s.metrics.queueDepth.Load()), s.cfg.MaxConcurrent))
+}
+
+// cacheGet performs one result-cache lookup, honoring the simulation
+// harness's forced-eviction hook.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if s.hooks != nil && s.hooks.EvictCache != nil && s.hooks.EvictCache(key) {
+		s.cache.remove(key)
+	}
+	return s.cache.get(key)
+}
+
 // rejectDraining answers 503 during drain; reports whether it did.
 func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if !s.draining.Load() {
 		return false
 	}
-	w.Header().Set("Retry-After", "5")
+	w.Header().Set("Retry-After", s.retryAfterHint())
 	writeJSON(w, http.StatusServiceUnavailable, errorBody("server is draining"))
 	return true
 }
@@ -289,7 +350,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	if spec == nil {
 		return
 	}
-	if body, ok := s.cache.get(spec.key); ok {
+	if body, ok := s.cacheGet(spec.key); ok {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("X-Salsa-Cache", "hit")
 		writeJSON(w, http.StatusOK, body)
@@ -331,12 +392,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.jobs.create(spec.fingerprint)
 	if err != nil {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeJSON(w, http.StatusTooManyRequests, errorBody(err.Error()))
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
-	if body, ok := s.cache.get(spec.key); ok {
+	if body, ok := s.cacheGet(spec.key); ok {
 		s.metrics.cacheHits.Add(1)
 		j.finish(http.StatusOK, body, true)
 		s.metrics.jobsFinished.Add(1)
@@ -354,7 +415,18 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			// lifetime is the engine run's, so it waits on a background
 			// context, never the request's.
 			//lint:ctxflow async job survives the submitting request by design
-			out, shared, _ := s.flight.do(context.Background(), spec.key, func() *outcome { return s.runAllocation(spec) })
+			out, shared, ferr := s.flight.do(context.Background(), spec.key, func() *outcome { return s.runAllocation(spec) })
+			if ferr != nil {
+				// Only an injected wakeup fault can get here: a
+				// background context never expires on its own. The job
+				// fails the same way an abandoned synchronous waiter
+				// does.
+				s.metrics.flightAbandoned.Add(1)
+				j.finish(http.StatusRequestTimeout,
+					errorBody("job abandoned while waiting on an identical in-flight run: "+ferr.Error()), false)
+				s.metrics.jobsFinished.Add(1)
+				return
+			}
 			if shared {
 				s.metrics.flightShared.Add(1)
 			} else {
@@ -417,10 +489,24 @@ func (s *Server) runAllocation(spec *allocSpec) *outcome {
 		return &outcome{
 			status:     http.StatusTooManyRequests,
 			body:       errorBody(fmt.Sprintf("admission queue full (%d waiting)", depth-1)),
-			retryAfter: "1",
+			retryAfter: s.retryAfterHint(),
 		}
 	}
-	s.sem <- struct{}{}
+	// The request deadline starts at admission, not at slot acquisition:
+	// time spent queued counts against it, so a waiter whose deadline
+	// expires in the queue gives up its slot claim (draining the queue
+	// by one) and answers 408 — the 429-vs-408 boundary is "rejected on
+	// arrival" vs "admitted but timed out waiting".
+	ctx, cancel := clock.WithTimeout(context.Background(), s.clock, spec.timeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.queueDepth.Add(-1)
+		s.metrics.timeoutsEmpty.Add(1)
+		return &outcome{status: http.StatusRequestTimeout,
+			body: errorBody("deadline expired while queued for an engine slot; raise timeout_ms or retry later")}
+	}
 	s.metrics.queueDepth.Add(-1)
 	defer func() { <-s.sem }()
 	s.metrics.activeRuns.Add(1)
@@ -429,9 +515,10 @@ func (s *Server) runAllocation(spec *allocSpec) *outcome {
 	if s.runStarted != nil {
 		s.runStarted(spec)
 	}
+	if s.hooks != nil && s.hooks.RunStarted != nil {
+		s.hooks.RunStarted(spec.fingerprint)
+	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), spec.timeout)
-	defer cancel()
 	des, res, stats, err := s.execute(ctx, spec.req)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {

@@ -1,0 +1,135 @@
+package simtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/service"
+	"salsa/internal/workloads"
+)
+
+// OpKind is one scripted client operation.
+type OpKind int
+
+const (
+	// OpSync is a synchronous POST /allocate with a generous deadline.
+	OpSync OpKind = iota
+	// OpAsync submits the allocation as a job and polls to completion.
+	OpAsync
+	// OpShort is a synchronous allocate with a deadline short enough
+	// that injected engine stalls can overtake it: 408s and partial
+	// 200s are legitimate outcomes.
+	OpShort
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpSync:
+		return "sync"
+	case OpAsync:
+		return "async"
+	case OpShort:
+		return "short"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation of a client script.
+type Op struct {
+	Kind     OpKind
+	Workload string
+}
+
+// Script is one client's predetermined operation sequence plus the
+// jitter seed its HTTP client retries with.
+type Script struct {
+	Client int
+	Seed   int64
+	Ops    []Op
+}
+
+// scriptWorkloads are the graphs scenarios draw from: small enough
+// that an engine run takes milliseconds, distinct enough that cache
+// and singleflight keys collide only when the script intends it.
+var scriptWorkloads = []string{"figure1", "diffeq", "fir8"}
+
+// BuildScripts derives the full client choreography from one seed —
+// a pure function: equal arguments yield equal scripts.
+func BuildScripts(seed int64, clients, opsPer int) []Script {
+	x := uint64(seed)*2862933555777941757 + 97
+	next := func(n uint64) uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 16) % n
+	}
+	out := make([]Script, clients)
+	for c := range out {
+		out[c] = Script{Client: c, Seed: int64(next(1 << 30))}
+		for i := 0; i < opsPer; i++ {
+			var kind OpKind
+			// Sync-heavy mix: 50% sync, 30% async, 20% short-deadline.
+			switch roll := next(10); {
+			case roll < 5:
+				kind = OpSync
+			case roll < 8:
+				kind = OpAsync
+			default:
+				kind = OpShort
+			}
+			out[c].Ops = append(out[c].Ops, Op{
+				Kind:     kind,
+				Workload: scriptWorkloads[next(uint64(len(scriptWorkloads)))],
+			})
+		}
+	}
+	return out
+}
+
+// graphJSON returns the marshaled CDFG for a script workload,
+// memoized process-wide (scripts reuse the same few graphs).
+var (
+	graphOnce sync.Once
+	graphDocs map[string]json.RawMessage
+)
+
+func graphJSON(workload string) json.RawMessage {
+	graphOnce.Do(func() {
+		builders := map[string]func() *cdfg.Graph{
+			"figure1": workloads.Figure1,
+			"diffeq":  workloads.Diffeq,
+			"fir8":    workloads.FIR8,
+		}
+		graphDocs = make(map[string]json.RawMessage, len(builders))
+		for _, name := range scriptWorkloads {
+			doc, err := builders[name]().MarshalJSON()
+			if err != nil {
+				panic("simtest: marshaling " + name + ": " + err.Error())
+			}
+			graphDocs[name] = doc
+		}
+	})
+	doc, ok := graphDocs[workload]
+	if !ok {
+		panic("simtest: unknown workload " + workload)
+	}
+	return doc
+}
+
+// request builds the wire request for one op. Requests for the same
+// workload are identical across kinds except for the deadline — which
+// is deliberately outside the service's cache key, so sync, async and
+// short ops on one workload all share a key.
+func request(op Op) *service.AllocateRequest {
+	ar := &service.AllocateRequest{
+		Graph:     graphJSON(op.Workload),
+		Mode:      "salsa",
+		Seed:      1,
+		Restarts:  1,
+		TimeoutMS: 60_000,
+	}
+	if op.Kind == OpShort {
+		ar.TimeoutMS = 5
+	}
+	return ar
+}
