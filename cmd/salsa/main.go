@@ -87,7 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Machine-readable mode: execute through the same request-level
 		// path the salsad service uses, so `salsa -json` output is
 		// byte-identical to a service response body for the same
-		// request. Prose flags (-v, -chart, ...) are ignored here.
+		// request. Prose flags (-chart, -place, ...) are ignored here;
+		// with -remote, -v reports the exchange's provenance (serving
+		// shard, cache state, attempts) on stderr, keeping stdout
+		// byte-identical either way.
 		p := jsonParams{
 			steps: *steps, pipelined: *pipelined, extraRegs: *extraRegs,
 			fds:  strings.EqualFold(*scheduler, "fds"),
@@ -95,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			workers: *workers, timeout: *timeout, verify: *verify,
 		}
 		if *remote != "" {
-			return runRemote(stdout, stderr, g, p, *remote)
+			return runRemote(stdout, stderr, g, p, *remote, *verbose)
 		}
 		return runJSON(stdout, stderr, g, p)
 	}
@@ -319,7 +322,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 // response body — the same ResultJSON document runJSON prints, served
 // remotely. The client retries transient failures (connection errors,
 // 408/429/5xx) with capped jittered backoff, honoring Retry-After.
-func runRemote(stdout, stderr io.Writer, g *cdfg.Graph, p jsonParams, baseURL string) int {
+// With verbose, the exchange's provenance goes to stderr: the serving
+// shard and cache headers a cluster router adds (X-Salsa-Shard,
+// X-Salsa-Cache) and the attempt count — stdout stays byte-identical.
+func runRemote(stdout, stderr io.Writer, g *cdfg.Graph, p jsonParams, baseURL string, verbose bool) int {
 	graphJSON, err := g.MarshalJSON()
 	if err != nil {
 		fmt.Fprintln(stderr, "salsa:", err)
@@ -341,6 +347,16 @@ func runRemote(stdout, stderr io.Writer, g *cdfg.Graph, p jsonParams, baseURL st
 	if err != nil {
 		fmt.Fprintln(stderr, "salsa:", err)
 		return 1
+	}
+	if verbose {
+		shard, cache := res.Shard, res.Cache
+		if shard == "" {
+			shard = "direct"
+		}
+		if cache == "" {
+			cache = "none"
+		}
+		fmt.Fprintf(stderr, "salsa: remote shard=%s cache=%s attempts=%d\n", shard, cache, res.Attempts)
 	}
 	fmt.Fprint(stdout, string(res.Body))
 	return 0

@@ -49,6 +49,48 @@ func TestRemoteMatchesLocalJSON(t *testing.T) {
 	}
 }
 
+// TestRemoteVerboseShowsRouterHeaders: with -v, the provenance headers
+// a cluster router stamps (X-Salsa-Shard, X-Salsa-Cache) surface on
+// stderr, while stdout stays the bare result document.
+func TestRemoteVerboseShowsRouterHeaders(t *testing.T) {
+	srv := service.New(service.Config{})
+	routed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// What a `salsad -route` front end adds to a proxied response.
+		w.Header().Set("X-Salsa-Shard", "http://backend-2:8080")
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(routed)
+	defer ts.Close()
+
+	args := []string{"-bench", "figure1", "-restarts", "2", "-seed", "1", "-verify=false"}
+	var local, remote, stderr bytes.Buffer
+	if code := run(append(args, "-json"), &local, &stderr); code != 0 {
+		t.Fatalf("local -json exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run(append(args, "-remote", ts.URL, "-v"), &remote, &stderr); code != 0 {
+		t.Fatalf("-remote -v exit %d, stderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Errorf("-v changed stdout:\n got %s\nwant %s", remote.Bytes(), local.Bytes())
+	}
+	for _, want := range []string{"shard=http://backend-2:8080", "cache=miss", "attempts=1"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr %q lacks %q", stderr.String(), want)
+		}
+	}
+
+	// Without -v, provenance stays silent.
+	stderr.Reset()
+	remote.Reset()
+	if code := run(append(args, "-remote", ts.URL), &remote, &stderr); code != 0 {
+		t.Fatalf("-remote exit %d, stderr: %s", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "shard=") {
+		t.Errorf("provenance printed without -v: %q", stderr.String())
+	}
+}
+
 // TestRemoteRejectedRequest: a non-retryable rejection (HTTP 400) is a
 // clean immediate failure carrying the server's message — no retries.
 func TestRemoteRejectedRequest(t *testing.T) {

@@ -17,6 +17,13 @@
 // Usage:
 //
 //	salsad -addr :8080 -max-concurrent 4 -max-queue 64 -cache 256
+//
+// With -route, the same binary boots as a stateless cluster router
+// instead: it serves the identical API surface, but proxies every
+// request to one of the listed backends using a consistent-hash ring
+// keyed by the graph fingerprint (see internal/cluster):
+//
+//	salsad -route http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -28,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"salsa/internal/cluster"
 	"salsa/internal/service"
 )
 
@@ -50,27 +59,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxTimeout    = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on request deadlines")
 		workers       = fs.Int("engine-workers", 0, "engine workers per run (0 = GOMAXPROCS)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on SIGTERM")
+		route         = fs.String("route", "", "comma-separated backend base URLs; boots as a cluster router instead of a backend")
+		probeInterval = fs.Duration("probe-interval", 500*time.Millisecond, "router: backend /readyz probe interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	svc := service.New(service.Config{
-		CacheEntries:   *cacheEntries,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		EngineWorkers:  *workers,
-	})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Both personalities expose the same lifecycle: an http.Handler plus
+	// StartDrain (flip readiness off) and Drain (wait for in-flight work).
+	var handler http.Handler
+	var startDrain func()
+	var drain func(context.Context) error
+	role := "listening"
+	if *route != "" {
+		router, err := cluster.New(cluster.Config{
+			Backends:      strings.Split(*route, ","),
+			ProbeInterval: *probeInterval,
+			CacheEntries:  *cacheEntries,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "salsad: %v\n", err)
+			return 2
+		}
+		router.Start(ctx)
+		handler, startDrain, drain = router.Handler(), router.StartDrain, router.Drain
+		role = fmt.Sprintf("routing %d backends on", len(router.Healthy()))
+	} else {
+		svc := service.New(service.Config{
+			CacheEntries:   *cacheEntries,
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			DefaultTimeout: *defTimeout,
+			MaxTimeout:     *maxTimeout,
+			EngineWorkers:  *workers,
+		})
+		handler, startDrain, drain = svc.Handler(), svc.StartDrain, svc.Drain
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(stdout, "salsad: listening on %s\n", *addr)
+	fmt.Fprintf(stdout, "salsad: %s %s\n", role, *addr)
 
 	select {
 	case err := <-errc:
@@ -86,13 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Flip readiness off first so a load balancer still probing /readyz
 	// stops routing here, then stop the listener and wait for in-flight
 	// HTTP exchanges (Shutdown) and async jobs (Drain).
-	svc.StartDrain()
+	startDrain()
 	code := 0
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "salsad: shutdown: %v\n", err)
 		code = 1
 	}
-	if err := svc.Drain(dctx); err != nil {
+	if err := drain(dctx); err != nil {
 		fmt.Fprintf(stderr, "salsad: %v\n", err)
 		code = 1
 	}

@@ -109,6 +109,16 @@ type Result struct {
 	// CacheHit reports whether the final response came from the
 	// service's result cache (X-Salsa-Cache: hit).
 	CacheHit bool
+	// Cache is the raw X-Salsa-Cache header of the last exchange that
+	// carried one ("hit" or "miss" from a single salsad; a router adds
+	// "hit" for its own response cache). Empty when no exchange carried
+	// the header.
+	Cache string
+	// Shard is the raw X-Salsa-Shard header of the last exchange that
+	// carried one: the backend a cluster router proxied to (or "router"
+	// when its response cache answered). Empty when talking to a single
+	// salsad directly.
+	Shard string
 }
 
 // HTTPError is a non-retryable HTTP failure (or the last retryable one
@@ -162,6 +172,7 @@ func (c *Client) Do(ctx context.Context, ar *service.AllocateRequest) (*Result, 
 			lastErr = err
 			continue
 		}
+		res.observeHeaders(resp)
 		if resp.status == http.StatusOK {
 			if err := finishResult(res, resp); err != nil {
 				lastErr = err
@@ -249,6 +260,7 @@ func (c *Client) submitJob(ctx context.Context, payload []byte, res *Result) (st
 	if err != nil {
 		return "", err
 	}
+	res.observeHeaders(resp)
 	if resp.status != http.StatusAccepted {
 		return "", retryAfterError{err: &HTTPError{Status: resp.status, Body: resp.body}, after: resp.retryAfter}
 	}
@@ -280,6 +292,7 @@ func (c *Client) pollJob(ctx context.Context, id string, res *Result) (*service.
 			consecutiveFailures++
 		default:
 			consecutiveFailures = 0
+			res.observeHeaders(resp)
 			var st service.JobStatus
 			if jerr := json.Unmarshal(resp.body, &st); jerr != nil {
 				consecutiveFailures++
@@ -302,6 +315,78 @@ func (c *Client) pollJob(ctx context.Context, id string, res *Result) (*service.
 	}
 }
 
+// observeHeaders records routing and caching headers from one
+// exchange into res; the last exchange that carries a header wins, so
+// the final answer's provenance survives any retries before it.
+func (res *Result) observeHeaders(resp *httpOutcome) {
+	if resp.header == nil {
+		return
+	}
+	if v := resp.header.Get("X-Salsa-Cache"); v != "" {
+		res.Cache = v
+	}
+	if v := resp.header.Get("X-Salsa-Shard"); v != "" {
+		res.Shard = v
+	}
+}
+
+// HTTPResult is one terminal HTTP exchange as Roundtrip saw it: the
+// last response obtained after retrying transient failures. Status may
+// still be retryable (408/429/5xx) when attempts ran out — callers
+// doing their own failover (the cluster router) inspect it.
+type HTTPResult struct {
+	Status int
+	Body   []byte
+	// Header is the response header set of the final exchange.
+	Header http.Header
+	// Attempts counts HTTP round trips spent (first try included).
+	Attempts int
+}
+
+// Roundtrip performs one retrying HTTP exchange against path (joined
+// to the client's BaseURL): transport errors, mid-body disconnects and
+// retryable statuses (408/429/5xx) are retried with the client's
+// backoff schedule, honoring Retry-After. It returns the first
+// non-retryable answer, or — once attempts run out — the last
+// retryable response with a nil error, so callers can distinguish "the
+// service answered, badly" from "no answer at all" (non-nil error).
+// It is the proxying primitive the cluster router builds per-backend
+// failover on: the router keeps each backend conversation retrying
+// briefly, then moves to the next ring member.
+func (c *Client) Roundtrip(ctx context.Context, method, path string, body []byte) (*HTTPResult, error) {
+	res := &HTTPResult{}
+	var last *httpOutcome
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.waitRetry(ctx, attempt, lastErr); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.roundTrip(ctx, method, c.cfg.BaseURL+path, body)
+		res.Attempts++
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		last = resp
+		if !retryableStatus(resp.status) {
+			break
+		}
+		lastErr = retryAfterError{err: &HTTPError{Status: resp.status, Body: resp.body}, after: resp.retryAfter}
+	}
+	if last == nil {
+		return nil, fmt.Errorf("giving up after %d attempts: %w", res.Attempts, lastErr)
+	}
+	res.Status = last.status
+	res.Body = last.body
+	res.Header = last.header
+	return res, nil
+}
+
 // finishResult decodes a 200 outcome into res.
 func finishResult(res *Result, resp *httpOutcome) error {
 	var rj salsa.ResultJSON
@@ -318,6 +403,7 @@ func finishResult(res *Result, resp *httpOutcome) error {
 type httpOutcome struct {
 	status     int
 	body       []byte
+	header     http.Header
 	retryAfter time.Duration // 0 = header absent
 	cacheHit   bool
 }
@@ -353,6 +439,7 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte)
 	out := &httpOutcome{
 		status:   resp.StatusCode,
 		body:     data,
+		header:   resp.Header,
 		cacheHit: resp.Header.Get("X-Salsa-Cache") == "hit",
 	}
 	if v := resp.Header.Get("Retry-After"); v != "" {

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// routerMetrics holds the router-level counters and gauges. Everything
+// is atomic (or mutex-guarded where a map is involved) so proxy paths
+// update concurrently and /metrics snapshots are race-free.
+type routerMetrics struct {
+	requests  atomic.Int64 // requests that reached a router handler
+	routed    atomic.Int64 // exchanges proxied to a backend (any outcome)
+	failovers atomic.Int64 // exchanges moved to the next ring member
+	rehomed   atomic.Int64 // requests whose healthy-ring owner differs from the full-ring owner
+	cacheHits atomic.Int64 // router response-cache hits
+	cacheMiss atomic.Int64 // router response-cache misses
+	noBackend atomic.Int64 // 503s for an empty healthy ring
+	jobsLost  atomic.Int64 // job polls answered 503 because the pinned shard is unreachable
+
+	mu       sync.Mutex
+	perShard map[string]int64 // guarded by mu; backend -> requests served by it
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{perShard: make(map[string]int64)}
+}
+
+func (m *routerMetrics) served(backend string) {
+	m.mu.Lock()
+	m.perShard[backend]++
+	m.mu.Unlock()
+}
+
+// shards snapshots the per-backend served counters in sorted backend
+// order.
+func (m *routerMetrics) shards() (backends []string, counts []int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for b := range m.perShard {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	for _, b := range backends {
+		counts = append(counts, m.perShard[b])
+	}
+	return backends, counts
+}
+
+// writePrometheus renders the router counters in the Prometheus text
+// exposition format. Backend health gauges and the scrape-through of
+// backend engine counters are appended by the router, which owns the
+// membership view.
+func (m *routerMetrics) writePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("salsa_router_requests_total", "Requests that reached the router.", m.requests.Load())
+	counter("salsa_router_routed_total", "Exchanges proxied to a backend.", m.routed.Load())
+	counter("salsa_router_failover_total", "Exchanges failed over to the next ring member.", m.failovers.Load())
+	counter("salsa_router_rehomed_total", "Requests whose owner moved because a backend was unhealthy.", m.rehomed.Load())
+	counter("salsa_router_cache_hits_total", "Router response-cache hits.", m.cacheHits.Load())
+	counter("salsa_router_cache_misses_total", "Router response-cache misses.", m.cacheMiss.Load())
+	counter("salsa_router_no_backend_total", "Requests rejected because no backend was healthy.", m.noBackend.Load())
+	counter("salsa_router_jobs_lost_total", "Job polls answered 503 because the pinned shard was unreachable.", m.jobsLost.Load())
+	fmt.Fprintf(w, "# HELP salsa_router_served_total Requests served per backend.\n# TYPE salsa_router_served_total counter\n")
+	backends, counts := m.shards()
+	for i, b := range backends {
+		fmt.Fprintf(w, "salsa_router_served_total{backend=%q} %d\n", b, counts[i])
+	}
+}
+
+// snapshot returns the router counters as a flat map for tests.
+func (m *routerMetrics) snapshot() map[string]int64 {
+	out := map[string]int64{
+		"requests_total":     m.requests.Load(),
+		"routed_total":       m.routed.Load(),
+		"failover_total":     m.failovers.Load(),
+		"rehomed_total":      m.rehomed.Load(),
+		"cache_hits_total":   m.cacheHits.Load(),
+		"cache_misses_total": m.cacheMiss.Load(),
+		"no_backend_total":   m.noBackend.Load(),
+		"jobs_lost_total":    m.jobsLost.Load(),
+	}
+	backends, counts := m.shards()
+	for i, b := range backends {
+		out["served_total_"+b] = counts[i]
+	}
+	return out
+}
+
+// respCache is a bounded LRU over complete 200 response bodies, keyed
+// by the request's content key — the router-side twin of the backend's
+// result cache, so hot fingerprints stop crossing the network at all.
+// Values are exact backend bytes; a router hit is byte-identical to
+// the shard's answer. Partial results are never stored (they are not a
+// deterministic function of the key) and neither are errors.
+type respCache struct {
+	mu    sync.Mutex
+	max   int                      // immutable after construction
+	order *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
+}
+
+type respEntry struct {
+	key  string
+	body []byte
+}
+
+func newRespCache(max int) *respCache {
+	return &respCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and marks it most recently used.
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*respEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when the cache is full. A zero or negative capacity disables caching.
+func (c *respCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*respEntry).body = body
+		return
+	}
+	c.items[key] = c.order.PushFront(&respEntry{key: key, body: body})
+	for len(c.items) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*respEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingEmpty covers the degenerate ring: no members, no owners,
+// empty failover sequences — and no panics.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", r.Len())
+	}
+	if m, ok := r.Owner("anything"); ok {
+		t.Fatalf("Owner on empty ring = %q, ok=true; want ok=false", m)
+	}
+	if seq := r.Sequence("anything"); len(seq) != 0 {
+		t.Fatalf("Sequence on empty ring = %v, want empty", seq)
+	}
+}
+
+// TestRingSingleBackend: with one member, every key maps to it and the
+// failover sequence is exactly that member.
+func TestRingSingleBackend(t *testing.T) {
+	r := NewRing([]string{"http://a"}, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		m, ok := r.Owner(key)
+		if !ok || m != "http://a" {
+			t.Fatalf("Owner(%q) = %q, %t; want http://a, true", key, m, ok)
+		}
+		seq := r.Sequence(key)
+		if len(seq) != 1 || seq[0] != "http://a" {
+			t.Fatalf("Sequence(%q) = %v, want [http://a]", key, seq)
+		}
+	}
+}
+
+// TestRingJoinOrderIndependence: the key→shard map is a pure function
+// of the member set — listing order and duplicates must not move a
+// single key. This is what makes re-homing deterministic: any router
+// instance that observes the same healthy set routes identically.
+func TestRingJoinOrderIndependence(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	permutations := [][]string{
+		{"http://a", "http://b", "http://c", "http://d"},
+		{"http://d", "http://c", "http://b", "http://a"},
+		{"http://c", "http://a", "http://d", "http://b"},
+		// Duplicates collapse.
+		{"http://b", "http://b", "http://a", "http://d", "http://c", "http://a"},
+	}
+	ref := NewRing(members, 0)
+	for pi, perm := range permutations {
+		r := NewRing(perm, 0)
+		if r.Len() != len(members) {
+			t.Fatalf("permutation %d: Len() = %d, want %d", pi, r.Len(), len(members))
+		}
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("fingerprint-%d", i)
+			want, _ := ref.Owner(key)
+			got, _ := r.Owner(key)
+			if got != want {
+				t.Fatalf("permutation %d: Owner(%q) = %q, want %q (join order moved a key)", pi, key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingSequence checks the failover order's structural properties:
+// starts at the owner, visits every distinct member exactly once, and
+// removing the owner re-homes each key onto its old second choice.
+func TestRingSequence(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(members, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != len(members) {
+			t.Fatalf("Sequence(%q) = %v, want %d distinct members", key, seq, len(members))
+		}
+		owner, _ := r.Owner(key)
+		if seq[0] != owner {
+			t.Fatalf("Sequence(%q)[0] = %q, want owner %q", key, seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %q: %v", key, m, seq)
+			}
+			seen[m] = true
+		}
+
+		// Re-homing determinism: drop the owner, and the surviving ring's
+		// owner for this key must be the old sequence's second choice.
+		var survivors []string
+		for _, m := range members {
+			if m != owner {
+				survivors = append(survivors, m)
+			}
+		}
+		rehomed, _ := NewRing(survivors, 0).Owner(key)
+		if rehomed != seq[1] {
+			t.Fatalf("key %q: removing owner %q re-homed to %q, want old second choice %q",
+				key, owner, rehomed, seq[1])
+		}
+	}
+}
+
+// TestRingDistribution is a coarse balance check: with 64 virtual
+// nodes per member, 3 members each own a non-trivial share of 9000
+// keys. The bound is loose (10%) — the assertion is about gross
+// misconfiguration (a member owning almost nothing), not about
+// perfect balance.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	counts := map[string]int{}
+	const total = 9000
+	for i := 0; i < total; i++ {
+		m, _ := r.Owner(fmt.Sprintf("sha256:%064d", i))
+		counts[m]++
+	}
+	for _, m := range r.Members() {
+		if counts[m] < total/10 {
+			t.Errorf("member %s owns %d/%d keys — ring badly unbalanced", m, counts[m], total)
+		}
+	}
+	t.Logf("distribution: %v", counts)
+}

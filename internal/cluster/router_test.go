@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"salsa/internal/cdfg"
+	"salsa/internal/clock"
+	"salsa/internal/service"
+	"salsa/internal/workloads"
+)
+
+// testCluster is an in-process fleet: n real service backends behind
+// one router, all on httptest servers.
+type testCluster struct {
+	backends []*httptest.Server
+	router   *Router
+	front    *httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int, cfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		svc := service.New(service.Config{MaxConcurrent: 2, MaxQueue: 64})
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(ts.Close)
+		tc.backends = append(tc.backends, ts)
+		cfg.Backends = append(cfg.Backends, ts.URL)
+	}
+	if cfg.ProxyBackoff == 0 {
+		cfg.ProxyBackoff = time.Millisecond
+	}
+	router, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tc.router = router
+	tc.front = httptest.NewServer(router.Handler())
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+// allocBody builds one wire request for a workload graph.
+func allocBody(t *testing.T, g *cdfg.Graph, seed int64) []byte {
+	t.Helper()
+	doc, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"graph": json.RawMessage(doc), "seed": seed, "restarts": 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// fingerprintOf computes the routing key the router will use for body.
+func fingerprintOf(t *testing.T, body []byte) string {
+	t.Helper()
+	var ar service.AllocateRequest
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	fp, _, err := ar.ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func postAllocate(t *testing.T, base string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/allocate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /allocate: %v", err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestRouterSyncRouting: a request routes to exactly one shard, the
+// response is byte-identical to asking that backend directly, and a
+// repeat is served from the router cache without touching the network.
+func TestRouterSyncRouting(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	body := allocBody(t, workloads.Figure1(), 1)
+
+	resp1, out1 := postAllocate(t, tc.front.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", resp1.StatusCode, out1)
+	}
+	shard := resp1.Header.Get("X-Salsa-Shard")
+	owner, _ := tc.router.full.Owner(fingerprintOf(t, body))
+	if shard != owner {
+		t.Errorf("X-Salsa-Shard = %q, want ring owner %q", shard, owner)
+	}
+
+	// Direct answer from the owning backend must be the same bytes.
+	respD, outD := postAllocate(t, shard, body)
+	if respD.StatusCode != http.StatusOK || !bytes.Equal(out1, outD) {
+		t.Errorf("router body diverges from direct backend answer")
+	}
+
+	// The repeat hits the router cache: same bytes, provenance "router".
+	resp2, out2 := postAllocate(t, tc.front.URL, body)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(out1, out2) {
+		t.Fatalf("cached repeat diverges (status %d)", resp2.StatusCode)
+	}
+	if c, s := resp2.Header.Get("X-Salsa-Cache"), resp2.Header.Get("X-Salsa-Shard"); c != "hit" || s != "router" {
+		t.Errorf("repeat: X-Salsa-Cache=%q X-Salsa-Shard=%q, want hit/router", c, s)
+	}
+
+	// A different seed shares the fingerprint — same shard, its own
+	// cache entry (the content key includes the seed).
+	other := allocBody(t, workloads.Figure1(), 7)
+	resp3, _ := postAllocate(t, tc.front.URL, other)
+	if got := resp3.Header.Get("X-Salsa-Shard"); got != shard {
+		t.Errorf("same graph, different seed routed to %q, want %q (fingerprint is the ring key)", got, shard)
+	}
+
+	m := tc.router.MetricsSnapshot()
+	if m["cache_hits_total"] != 1 || m["cache_misses_total"] != 2 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/2", m["cache_hits_total"], m["cache_misses_total"])
+	}
+}
+
+// TestRouterFailover: killing the shard that owns a key must cost
+// latency, not an answer — the exchange moves to the next ring member.
+func TestRouterFailover(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{ProxyAttempts: 1})
+	body := allocBody(t, workloads.Diffeq(), 1)
+	owner, _ := tc.router.full.Owner(fingerprintOf(t, body))
+	for i, ts := range tc.backends {
+		if ts.URL == owner {
+			tc.backends[i].Close()
+		}
+	}
+
+	resp, out := postAllocate(t, tc.front.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request with dead owner: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Salsa-Shard"); got == owner {
+		t.Errorf("served by the dead owner %q?", got)
+	}
+	m := tc.router.MetricsSnapshot()
+	if m["failover_total"] == 0 {
+		t.Errorf("failover_total = 0 after serving past a dead owner")
+	}
+}
+
+// TestRouterAllBackendsDead: every backend refusing connections must
+// yield a prompt 503 with Retry-After — bounded by the per-backend
+// retry budget, never a hang.
+func TestRouterAllBackendsDead(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{ProxyAttempts: 1})
+	for _, ts := range tc.backends {
+		ts.Close()
+	}
+	body := allocBody(t, workloads.Figure1(), 1)
+	start := time.Now()
+	resp, out := postAllocate(t, tc.front.URL, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("dead fleet answered in %v — failover must be bounded", elapsed)
+	}
+}
+
+// TestRouterEmptyRing: with every backend probed down, the router
+// rejects immediately (no proxy attempts at all) and /readyz reports
+// not-ready.
+func TestRouterEmptyRing(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{FailAfter: 1})
+	for _, ts := range tc.backends {
+		tc.router.setHealth(ts.URL, false)
+	}
+	if n := len(tc.router.Healthy()); n != 0 {
+		t.Fatalf("Healthy() has %d members after demoting all", n)
+	}
+	resp, out := postAllocate(t, tc.front.URL, allocBody(t, workloads.Figure1(), 1))
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("empty ring: status %d (%s), want 503 + Retry-After", resp.StatusCode, out)
+	}
+	if m := tc.router.MetricsSnapshot(); m["no_backend_total"] != 1 {
+		t.Errorf("no_backend_total = %d, want 1", m["no_backend_total"])
+	}
+	rz, err := http.Get(tc.front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rz.Body)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz with empty ring: status %d, want 503", rz.StatusCode)
+	}
+}
+
+// TestRouterProbeRehoming drives membership through the real probe
+// loop on a virtual clock: a backend dies, probes demote it, and a key
+// it owned re-homes deterministically onto a survivor.
+func TestRouterProbeRehoming(t *testing.T) {
+	clk := clock.NewVirtual()
+	tc := newTestCluster(t, 3, Config{
+		Clock:         clk,
+		ProbeInterval: 100 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+		ProxyAttempts: 1,
+	})
+	stop := clk.AutoAdvance(500 * time.Microsecond)
+	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tc.router.Start(ctx)
+
+	body := allocBody(t, workloads.FIR8(), 1)
+	owner, _ := tc.router.full.Owner(fingerprintOf(t, body))
+	for i, ts := range tc.backends {
+		if ts.URL == owner {
+			tc.backends[i].Close()
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(tc.router.Healthy()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probes never demoted the dead backend; healthy=%v", tc.router.Healthy())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, out := postAllocate(t, tc.front.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after demotion: status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Salsa-Shard"); got == owner {
+		t.Errorf("served by demoted backend %q", got)
+	}
+	m := tc.router.MetricsSnapshot()
+	if m["rehomed_total"] == 0 {
+		t.Error("rehomed_total = 0 after demotion moved the owner")
+	}
+	// The healthy-ring routing decision must agree with a fresh ring
+	// built from the same member set — determinism across instances.
+	want, _ := NewRing(tc.router.Healthy(), 0).Owner(fingerprintOf(t, body))
+	if got := resp.Header.Get("X-Salsa-Shard"); got != want {
+		t.Errorf("re-homed to %q, want %q (pure function of the member set)", got, want)
+	}
+}
+
+// TestRouterAsyncPinning: jobs created through the router carry a
+// shard prefix, poll back to the owning backend, and finish with the
+// same result the synchronous path serves.
+func TestRouterAsyncPinning(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	body := allocBody(t, workloads.Figure1(), 3)
+
+	resp, err := http.Post(tc.front.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, sub)
+	}
+	var job struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(sub, &job); err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`^s\d+-j\d+`).MatchString(job.ID) {
+		t.Fatalf("job ID %q lacks the shard pin prefix", job.ID)
+	}
+	if job.StatusURL != "/jobs/"+job.ID {
+		t.Fatalf("status_url = %q, want /jobs/%s", job.StatusURL, job.ID)
+	}
+
+	var st service.JobStatus
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		sr, err := http.Get(tc.front.URL + job.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := io.ReadAll(sr.Body)
+		sr.Body.Close()
+		if sr.StatusCode != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", sr.StatusCode, pb)
+		}
+		if err := json.Unmarshal(pb, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after 30s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job finished %q: %s", st.State, st.Error)
+	}
+
+	_, sync := postAllocate(t, tc.front.URL, body)
+	var a, b bytes.Buffer
+	if err := json.Compact(&a, st.Result); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&b, sync); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("async result diverges from the sync path")
+	}
+}
+
+// TestRouterJobStatusErrors: unknown IDs are 404s; a pinned shard that
+// is unreachable answers 503 + Retry-After (retryable — the client
+// eventually resubmits), never a hang.
+func TestRouterJobStatusErrors(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{ProxyAttempts: 1})
+	for _, id := range []string{"nonsense", "s99-j1-abc", "sX-j1"} {
+		resp, err := http.Get(tc.front.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /jobs/%s: status %d, want 404", id, resp.StatusCode)
+		}
+	}
+
+	tc.backends[1].Close()
+	resp, err := http.Get(tc.front.URL + "/jobs/s1-j1-deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("dead pinned shard: status %d, want 503 + Retry-After", resp.StatusCode)
+	}
+	if m := tc.router.MetricsSnapshot(); m["jobs_lost_total"] != 1 {
+		t.Errorf("jobs_lost_total = %d, want 1", m["jobs_lost_total"])
+	}
+}
+
+// TestRouterBadRequest: the router validates requests itself, so a
+// malformed request is bounced at the edge without spending a backend
+// exchange.
+func TestRouterBadRequest(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	for _, body := range []string{"{not json", `{}`, `{"graph":{"name":"x","nodes":[],"edges":[]},"mode":"bogus"}`} {
+		resp, err := http.Post(tc.front.URL+"/allocate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if m := tc.router.MetricsSnapshot(); m["routed_total"] != 0 {
+		t.Errorf("routed_total = %d after only malformed requests, want 0", m["routed_total"])
+	}
+}
+
+// TestRouterMetricsAggregation: one scrape of the router exposes its
+// own counters, per-backend health gauges, and the backends' engine
+// counters re-labelled by backend.
+func TestRouterMetricsAggregation(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	_, out := postAllocate(t, tc.front.URL, allocBody(t, workloads.Diffeq(), 1))
+	if len(out) == 0 {
+		t.Fatal("empty allocate response")
+	}
+	resp, err := http.Get(tc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(scrape)
+	for _, want := range []string{
+		"salsa_router_requests_total 2",
+		"salsa_router_routed_total 1",
+		fmt.Sprintf("salsa_router_backend_healthy{backend=%q} 1", tc.backends[0].URL),
+		fmt.Sprintf("salsa_router_backend_healthy{backend=%q} 1", tc.backends[1].URL),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape lacks %q", want)
+		}
+	}
+	if !regexp.MustCompile(`salsa_engine_trials_total\{backend="http://[^"]+"\} \d+`).MatchString(text) {
+		t.Errorf("scrape lacks engine counter scrape-through:\n%s", text)
+	}
+}
+
+// TestRouterDrain: drain flips readiness off, rejects new work with
+// Retry-After, and Drain returns once in-flight work is gone.
+func TestRouterDrain(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	tc.router.StartDrain()
+	rz, err := http.Get(tc.front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rz.Body)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining: status %d, want 503", rz.StatusCode)
+	}
+	resp, _ := postAllocate(t, tc.front.URL, allocBody(t, workloads.Figure1(), 1))
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("allocate while draining: status %d, want 503 + Retry-After", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tc.router.Drain(ctx); err != nil {
+		t.Errorf("Drain: %v", err)
+	}
+}
+
+// TestNewValidation: bad backend lists are construction-time errors.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no backends succeeded")
+	}
+	if _, err := New(Config{Backends: []string{"http://a", "http://a/"}}); err == nil {
+		t.Error("New with duplicate backends succeeded")
+	}
+	if _, err := New(Config{Backends: []string{""}}); err == nil {
+		t.Error("New with empty backend succeeded")
+	}
+}

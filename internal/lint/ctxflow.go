@@ -23,6 +23,7 @@ func DefaultCtxflowConfig() CtxflowConfig {
 		PkgSuffixes: []string{
 			"internal/service",
 			"internal/engine",
+			"internal/cluster",
 			"cmd/salsad",
 		},
 	}

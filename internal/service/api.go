@@ -53,14 +53,17 @@ type allocSpec struct {
 	key string
 }
 
-// parseRequest validates the wire request and resolves it to a spec.
-func (s *Server) parseRequest(ar *AllocateRequest) (*allocSpec, error) {
+// normalize validates the wire request's graph and search options and
+// resolves them to the normalized executable request. Shared by the
+// backend's parseRequest and the router-facing ContentKey so the two
+// can never disagree about what a request means.
+func (ar *AllocateRequest) normalize() (salsa.Request, error) {
 	if len(ar.Graph) == 0 {
-		return nil, fmt.Errorf("missing required field %q", "graph")
+		return salsa.Request{}, fmt.Errorf("missing required field %q", "graph")
 	}
 	g, err := cdfg.ParseJSON(ar.Graph)
 	if err != nil {
-		return nil, err
+		return salsa.Request{}, err
 	}
 	req := salsa.Request{
 		Graph: g,
@@ -78,10 +81,46 @@ func (s *Server) parseRequest(ar *AllocateRequest) (*allocSpec, error) {
 	switch req.Mode {
 	case "salsa", "traditional":
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want salsa or traditional)", req.Mode)
+		return salsa.Request{}, fmt.Errorf("unknown mode %q (want salsa or traditional)", req.Mode)
 	}
 	if ar.TimeoutMS < 0 {
-		return nil, fmt.Errorf("negative timeout_ms %d", ar.TimeoutMS)
+		return salsa.Request{}, fmt.Errorf("negative timeout_ms %d", ar.TimeoutMS)
+	}
+	return req, nil
+}
+
+// contentKey renders the result-cache / singleflight / routing key for
+// a normalized request: the graph fingerprint plus every normalized
+// option that influences the canonical result. Engine worker count and
+// deadline are excluded — neither changes a complete result's bytes.
+func contentKey(fp string, req salsa.Request) string {
+	return fmt.Sprintf("%s|mode=%s seed=%d restarts=%d steps=%d pipelined=%t xregs=%d nopass=%t fds=%t",
+		fp, req.Mode, req.Seed, req.Restarts, req.Params.Steps, req.Params.PipelinedMultipliers,
+		req.Params.ExtraRegisters, req.Params.DisablePassHardware, req.Params.ForceDirected)
+}
+
+// ContentKey computes the request's content address: the graph
+// fingerprint (the cluster routing key — every request for one graph
+// lands on one shard, so its cache entry and singleflight collapse
+// live in exactly one place) and the full result key (what the backend
+// caches under, and what a router-side response cache must key by to
+// stay byte-identical with the shard). It validates exactly as much as
+// the backend's own request parsing, so a request the router accepts
+// is never rejected as malformed by the shard it picks.
+func (ar *AllocateRequest) ContentKey() (fingerprint, key string, err error) {
+	req, err := ar.normalize()
+	if err != nil {
+		return "", "", err
+	}
+	fp := req.Graph.Fingerprint()
+	return fp, contentKey(fp, req), nil
+}
+
+// parseRequest validates the wire request and resolves it to a spec.
+func (s *Server) parseRequest(ar *AllocateRequest) (*allocSpec, error) {
+	req, err := ar.normalize()
+	if err != nil {
+		return nil, err
 	}
 	timeout := s.cfg.DefaultTimeout
 	if ar.TimeoutMS > 0 {
@@ -94,14 +133,12 @@ func (s *Server) parseRequest(ar *AllocateRequest) (*allocSpec, error) {
 	if s.hooks != nil && s.hooks.TrialPause != nil {
 		req.Engine.TrialHook = s.hooks.TrialPause
 	}
-	fp := g.Fingerprint()
+	fp := req.Graph.Fingerprint()
 	return &allocSpec{
 		req:         req,
 		timeout:     timeout,
 		fingerprint: fp,
-		key: fmt.Sprintf("%s|mode=%s seed=%d restarts=%d steps=%d pipelined=%t xregs=%d nopass=%t fds=%t",
-			fp, req.Mode, req.Seed, req.Restarts, req.Params.Steps, req.Params.PipelinedMultipliers,
-			req.Params.ExtraRegisters, req.Params.DisablePassHardware, req.Params.ForceDirected),
+		key:         contentKey(fp, req),
 	}, nil
 }
 

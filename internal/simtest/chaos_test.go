@@ -11,7 +11,7 @@ import (
 )
 
 // chaosSeeds reports how many seeds to sweep: SALSA_CHAOS_SEEDS when
-// set (CI runs 50), else a quick local default.
+// set (CI shards the sweep across jobs), else a quick local default.
 func chaosSeeds(t *testing.T) int {
 	t.Helper()
 	if v := os.Getenv("SALSA_CHAOS_SEEDS"); v != "" {
@@ -22,6 +22,22 @@ func chaosSeeds(t *testing.T) int {
 		return n
 	}
 	return 5
+}
+
+// chaosSeedStart reports the first seed of the sweep: CI's matrix
+// shards set SALSA_CHAOS_SEED_START so each job covers a disjoint
+// range ([start, start+SALSA_CHAOS_SEEDS)); unset means 1.
+func chaosSeedStart(t *testing.T) int {
+	t.Helper()
+	v := os.Getenv("SALSA_CHAOS_SEED_START")
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("bad SALSA_CHAOS_SEED_START %q", v)
+	}
+	return n
 }
 
 // writeArtifact dumps a failing scenario as JSONL — one event per
@@ -38,7 +54,11 @@ func writeArtifact(t *testing.T, rr *RunResult) {
 		t.Logf("artifacts: %v", err)
 		return
 	}
-	path := filepath.Join(dir, fmt.Sprintf("chaos_seed_%d.jsonl", rr.Seed))
+	scenario := rr.Scenario
+	if scenario == "" {
+		scenario = "chaos"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_seed_%d.jsonl", scenario, rr.Seed))
 	f, err := os.Create(path)
 	if err != nil {
 		t.Logf("artifacts: %v", err)
@@ -77,7 +97,8 @@ func TestChaosScenarios(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos scenarios run whole engine searches; skipped in -short")
 	}
-	for seed := 1; seed <= chaosSeeds(t); seed++ {
+	start := chaosSeedStart(t)
+	for seed := start; seed < start+chaosSeeds(t); seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			rr := Run(int64(seed), Options{Rates: Light()})

@@ -1,0 +1,39 @@
+package simtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClusterScenarios sweeps seeds through the cluster chaos
+// scenario: scripted clients against a router while one backend is
+// killed mid-traffic and restarted empty. The seed range shards the
+// same way as the single-node sweep (SALSA_CHAOS_SEED_START /
+// SALSA_CHAOS_SEEDS), and failing seeds leave the same JSONL
+// artifacts.
+func TestClusterScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster scenarios run whole engine searches; skipped in -short")
+	}
+	start := chaosSeedStart(t)
+	n := chaosSeeds(t)
+	// Cluster runs cost ~3 backends each; sweep a third of the
+	// single-node budget (at least two seeds) so a sharded CI job stays
+	// balanced.
+	if n > 3 {
+		n = (n + 2) / 3
+	}
+	for seed := start; seed < start+n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rr := RunCluster(int64(seed), ClusterOptions{})
+			if len(rr.Violations) > 0 {
+				writeArtifact(t, rr)
+				for _, v := range rr.Violations {
+					t.Error(v)
+				}
+				t.Logf("router metrics: %v", rr.Metrics)
+			}
+		})
+	}
+}

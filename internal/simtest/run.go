@@ -50,7 +50,11 @@ type Event struct {
 // RunResult is everything one scenario produced. Violations empty
 // means every invariant held.
 type RunResult struct {
-	Seed       int64
+	Seed int64
+	// Scenario names the harness that produced this result ("chaos"
+	// when empty); it keys the failure artifact's filename so different
+	// scenarios failing on one seed don't clobber each other.
+	Scenario   string
 	Events     []Event
 	Metrics    map[string]int64
 	Injected   map[string]int64
