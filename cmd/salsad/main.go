@@ -18,6 +18,14 @@
 //
 //	salsad -addr :8080 -max-concurrent 4 -max-queue 64 -cache 256
 //
+// With -journal <dir>, async jobs are durable: every acceptance and
+// terminal result is fsynced to a write-ahead log in <dir> before it
+// is acknowledged, and a restart with the same directory replays it —
+// finished jobs keep serving their exact bytes, in-flight jobs re-run
+// (see internal/journal):
+//
+//	salsad -addr :8081 -journal /var/lib/salsad/journal
+//
 // With -route, the same binary boots as a stateless cluster router
 // instead: it serves the identical API surface, but proxies every
 // request to one of the listed backends using a consistent-hash ring
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"salsa/internal/cluster"
+	"salsa/internal/journal"
 	"salsa/internal/service"
 )
 
@@ -58,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defTimeout    = fs.Duration("default-timeout", 30*time.Second, "search deadline for requests without timeout_ms")
 		maxTimeout    = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on request deadlines")
 		workers       = fs.Int("engine-workers", 0, "engine workers per run (0 = GOMAXPROCS)")
+		journalDir    = fs.String("journal", "", "write-ahead journal directory for durable async jobs (empty disables; replayed on boot)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on SIGTERM")
 		route         = fs.String("route", "", "comma-separated backend base URLs; boots as a cluster router instead of a backend")
 		probeInterval = fs.Duration("probe-interval", 500*time.Millisecond, "router: backend /readyz probe interval")
@@ -89,14 +99,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		handler, startDrain, drain = router.Handler(), router.StartDrain, router.Drain
 		role = fmt.Sprintf("routing %d backends on", len(router.Healthy()))
 	} else {
-		svc := service.New(service.Config{
+		cfg := service.Config{
 			CacheEntries:   *cacheEntries,
 			MaxConcurrent:  *maxConcurrent,
 			MaxQueue:       *maxQueue,
 			DefaultTimeout: *defTimeout,
 			MaxTimeout:     *maxTimeout,
 			EngineWorkers:  *workers,
-		})
+		}
+		if *journalDir != "" {
+			jrn, err := journal.Open(*journalDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "salsad: %v\n", err)
+				return 2
+			}
+			defer jrn.Close()
+			cfg.Journal = jrn
+		}
+		svc := service.New(cfg)
+		if *journalDir != "" {
+			if n := svc.MetricsSnapshot()["jobs_recovered_total"]; n > 0 {
+				fmt.Fprintf(stdout, "salsad: journal %s replayed, %d jobs recovered\n", *journalDir, n)
+			}
+		}
 		handler, startDrain, drain = svc.Handler(), svc.StartDrain, svc.Drain
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}

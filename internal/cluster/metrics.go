@@ -20,7 +20,12 @@ type routerMetrics struct {
 	cacheHits atomic.Int64 // router response-cache hits
 	cacheMiss atomic.Int64 // router response-cache misses
 	noBackend atomic.Int64 // 503s for an empty healthy ring
-	jobsLost  atomic.Int64 // job polls answered 503 because the pinned shard is unreachable
+	// jobsLost counts genuine loss: every member reachable, none knows
+	// the job — no replica of the owning journal survives. A merely
+	// unreachable shard counts jobUnavailable instead (its journal may
+	// recover the job when it rejoins).
+	jobsLost       atomic.Int64
+	jobUnavailable atomic.Int64 // job polls answered 503 pending a shard rejoin
 
 	mu       sync.Mutex
 	perShard map[string]int64 // guarded by mu; backend -> requests served by it
@@ -66,7 +71,8 @@ func (m *routerMetrics) writePrometheus(w io.Writer) {
 	counter("salsa_router_cache_hits_total", "Router response-cache hits.", m.cacheHits.Load())
 	counter("salsa_router_cache_misses_total", "Router response-cache misses.", m.cacheMiss.Load())
 	counter("salsa_router_no_backend_total", "Requests rejected because no backend was healthy.", m.noBackend.Load())
-	counter("salsa_router_jobs_lost_total", "Job polls answered 503 because the pinned shard was unreachable.", m.jobsLost.Load())
+	counter("salsa_router_jobs_lost_total", "Job polls for which no reachable shard knows the job (genuine loss; resubmit).", m.jobsLost.Load())
+	counter("salsa_router_job_unavailable_total", "Job polls answered 503 while the pinned shard is unreachable (journal may recover it).", m.jobUnavailable.Load())
 	fmt.Fprintf(w, "# HELP salsa_router_served_total Requests served per backend.\n# TYPE salsa_router_served_total counter\n")
 	backends, counts := m.shards()
 	for i, b := range backends {
@@ -77,14 +83,15 @@ func (m *routerMetrics) writePrometheus(w io.Writer) {
 // snapshot returns the router counters as a flat map for tests.
 func (m *routerMetrics) snapshot() map[string]int64 {
 	out := map[string]int64{
-		"requests_total":     m.requests.Load(),
-		"routed_total":       m.routed.Load(),
-		"failover_total":     m.failovers.Load(),
-		"rehomed_total":      m.rehomed.Load(),
-		"cache_hits_total":   m.cacheHits.Load(),
-		"cache_misses_total": m.cacheMiss.Load(),
-		"no_backend_total":   m.noBackend.Load(),
-		"jobs_lost_total":    m.jobsLost.Load(),
+		"requests_total":        m.requests.Load(),
+		"routed_total":          m.routed.Load(),
+		"failover_total":        m.failovers.Load(),
+		"rehomed_total":         m.rehomed.Load(),
+		"cache_hits_total":      m.cacheHits.Load(),
+		"cache_misses_total":    m.cacheMiss.Load(),
+		"no_backend_total":      m.noBackend.Load(),
+		"jobs_lost_total":       m.jobsLost.Load(),
+		"job_unavailable_total": m.jobUnavailable.Load(),
 	}
 	backends, counts := m.shards()
 	for i, b := range backends {

@@ -543,11 +543,19 @@ func (r *Router) handleSubmitJob(w http.ResponseWriter, req *http.Request) {
 	_, _ = w.Write(append(out, '\n'))
 }
 
-// handleJobStatus proxies a poll to the job's pinned shard. No
-// failover: the job's state exists on exactly one backend. A dead
-// shard answers 503 (retryable), so a polling client eventually gives
-// up and resubmits — which is safe, because allocation work is
-// idempotent by content address.
+// handleJobStatus proxies a poll to the job's pinned shard. The pinned
+// shard is authoritative while it answers; when it is unreachable,
+// sick, or has forgotten the job (a restart without its journal), the
+// poll retries the ring Sequence — a shard restarted with its data
+// dir, or a survivor holding a replica of it, serves the journaled job
+// byte-identically. The terminal answers are deliberately split:
+//
+//   - 503 + Retry-After ("keep polling") while any member that might
+//     hold the journal is unreachable — a restart may yet recover the
+//     job, so declaring it lost would be premature;
+//   - 404 + jobs_lost_total only when every configured member is up
+//     and none knows the job: no replica of the data dir survives, and
+//     resubmitting (idempotent by content address) is the only cure.
 func (r *Router) handleJobStatus(w http.ResponseWriter, req *http.Request) {
 	r.metrics.requests.Add(1)
 	r.work.Add(1)
@@ -562,16 +570,62 @@ func (r *Router) handleJobStatus(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown shard in job "+req.PathValue("id"))
 		return
 	}
-	backend := r.byIndex[idx]
+	pinned := r.byIndex[idx]
 	r.metrics.routed.Add(1)
-	res, rerr := r.clients[backend].Roundtrip(req.Context(), http.MethodGet, "/jobs/"+m[2], nil)
-	if rerr != nil {
-		r.metrics.jobsLost.Add(1)
-		writeUnavailable(w, fmt.Sprintf("shard %s unreachable; the job may be lost with it — resubmitting is safe", backend))
+	res, rerr := r.clients[pinned].Roundtrip(req.Context(), http.MethodGet, "/jobs/"+m[2], nil)
+	if rerr == nil && res.Status < http.StatusInternalServerError && res.Status != http.StatusNotFound {
+		r.metrics.served(pinned)
+		passthrough(w, res, pinned)
 		return
 	}
-	r.metrics.served(backend)
-	passthrough(w, res, backend)
+	// Proving genuine loss requires every configured member — healthy
+	// or not — to be reachable and answer 404; an unprobed or
+	// unreachable member might still rejoin with the journal. Walk the
+	// healthy ring in the key's Sequence order first (the preference
+	// order for serving), then any demoted members, so the sweep covers
+	// the whole fleet.
+	allAnswered := rerr == nil && res.Status == http.StatusNotFound
+	seq, _ := r.sequence(m[2])
+	walked := map[string]bool{pinned: true}
+	candidates := make([]string, 0, len(r.byIndex))
+	for _, b := range seq {
+		if !walked[b] {
+			walked[b] = true
+			candidates = append(candidates, b)
+		}
+	}
+	for _, b := range r.byIndex {
+		if !walked[b] {
+			walked[b] = true
+			candidates = append(candidates, b)
+		}
+	}
+	for _, b := range candidates {
+		r.metrics.routed.Add(1)
+		sres, serr := r.clients[b].Roundtrip(req.Context(), http.MethodGet, "/jobs/"+m[2], nil)
+		if serr != nil || sres.Status >= http.StatusInternalServerError {
+			allAnswered = false
+			continue
+		}
+		if sres.Status != http.StatusNotFound {
+			// A survivor adopted the journal (or the owner's data dir
+			// moved): serve from it, zero loss.
+			r.metrics.failovers.Add(1)
+			r.metrics.served(b)
+			passthrough(w, sres, b)
+			return
+		}
+	}
+	if allAnswered {
+		r.metrics.jobsLost.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Sprintf(
+			"job %s is lost: shard %s is up without it and no other shard holds it — resubmit (idempotent by content address)",
+			req.PathValue("id"), pinned))
+		return
+	}
+	r.metrics.jobUnavailable.Add(1)
+	writeUnavailable(w, fmt.Sprintf(
+		"shard %s temporarily unreachable; a journaled job recovers when its shard rejoins — keep polling", pinned))
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -337,9 +337,12 @@ func TestRouterAsyncPinning(t *testing.T) {
 	}
 }
 
-// TestRouterJobStatusErrors: unknown IDs are 404s; a pinned shard that
-// is unreachable answers 503 + Retry-After (retryable — the client
-// eventually resubmits), never a hang.
+// TestRouterJobStatusErrors walks the poll decision tree: malformed
+// IDs are immediate 404s; a job no reachable shard knows is genuine
+// loss (404 + jobs_lost_total — resubmission is the only cure); a job
+// pinned to an unreachable shard is NOT declared lost — the shard's
+// journal may recover it on rejoin, so the poll answers 503 +
+// Retry-After and counts job_unavailable_total instead.
 func TestRouterJobStatusErrors(t *testing.T) {
 	tc := newTestCluster(t, 2, Config{ProxyAttempts: 1})
 	for _, id := range []string{"nonsense", "s99-j1-abc", "sX-j1"} {
@@ -354,8 +357,25 @@ func TestRouterJobStatusErrors(t *testing.T) {
 		}
 	}
 
-	tc.backends[1].Close()
+	// Genuine loss: the whole fleet is up and nobody knows the job.
 	resp, err := http.Get(tc.front.URL + "/jobs/s1-j1-deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job, live fleet: status %d, want 404 (genuine loss)", resp.StatusCode)
+	}
+	m := tc.router.MetricsSnapshot()
+	if m["jobs_lost_total"] != 1 || m["job_unavailable_total"] != 0 {
+		t.Errorf("live fleet: jobs_lost=%d unavailable=%d, want 1/0", m["jobs_lost_total"], m["job_unavailable_total"])
+	}
+
+	// Pinned shard down: loss is unprovable, the poll must stay
+	// retryable.
+	tc.backends[1].Close()
+	resp, err = http.Get(tc.front.URL + "/jobs/s1-j1-deadbeef")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,8 +384,54 @@ func TestRouterJobStatusErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
 		t.Errorf("dead pinned shard: status %d, want 503 + Retry-After", resp.StatusCode)
 	}
-	if m := tc.router.MetricsSnapshot(); m["jobs_lost_total"] != 1 {
-		t.Errorf("jobs_lost_total = %d, want 1", m["jobs_lost_total"])
+	m = tc.router.MetricsSnapshot()
+	if m["jobs_lost_total"] != 1 || m["job_unavailable_total"] != 1 {
+		t.Errorf("dead shard: jobs_lost=%d unavailable=%d, want 1/1", m["jobs_lost_total"], m["job_unavailable_total"])
+	}
+}
+
+// TestRouterJobPollFailsOver: when the pinned shard has forgotten a
+// job but another member holds it (its data dir — and with it the
+// journal — moved), the poll walks the ring and serves the survivor's
+// answer instead of declaring loss.
+func TestRouterJobPollFailsOver(t *testing.T) {
+	// Backend 0 is a real (empty) service: it answers 404 for the job.
+	// Backend 1 stands in for a shard that adopted the journal.
+	svc := service.New(service.Config{})
+	ts0 := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts0.Close)
+	adopted := []byte(`{"id":"j1-deadbeef","state":"done","http_status":200,"result":{"ok":true},"recovered":true,"elapsed_ms":42}` + "\n")
+	ts1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/jobs/") {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(adopted)
+			return
+		}
+		w.Write([]byte("{}\n"))
+	}))
+	t.Cleanup(ts1.Close)
+	router, err := New(Config{Backends: []string{ts0.URL, ts1.URL}, ProxyAttempts: 1, ProxyBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+
+	resp, err := http.Get(front.URL + "/jobs/s0-j1-deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, adopted) {
+		t.Fatalf("poll past a forgetful owner: status %d body %s, want the adopter's bytes", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Salsa-Shard"); got != ts1.URL {
+		t.Errorf("X-Salsa-Shard = %q, want the adopting shard %q", got, ts1.URL)
+	}
+	m := router.MetricsSnapshot()
+	if m["jobs_lost_total"] != 0 || m["failover_total"] == 0 {
+		t.Errorf("adopted job: jobs_lost=%d failover=%d, want 0/>0", m["jobs_lost_total"], m["failover_total"])
 	}
 }
 

@@ -222,8 +222,8 @@ func TestClusterSmoke(t *testing.T) {
 		if m["requests_total"] == 0 || m["routed_total"] == 0 {
 			t.Errorf("router counters flat: %v", m)
 		}
-		if kill != nil && m["failover_total"]+m["rehomed_total"]+m["jobs_lost_total"] == 0 {
-			t.Errorf("backend killed mid-run yet no failover/re-home/lost-job observed: %v", m)
+		if kill != nil && m["failover_total"]+m["rehomed_total"]+m["jobs_lost_total"]+m["job_unavailable_total"] == 0 {
+			t.Errorf("backend killed mid-run yet no failover/re-home/job-outage observed: %v", m)
 		}
 	}
 }

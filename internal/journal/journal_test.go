@@ -1,0 +1,250 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen closes j and replays its directory into a fresh journal — one
+// simulated process restart.
+func reopen(t *testing.T, j *Journal) *Journal {
+	t.Helper()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	nj, err := Open(j.Dir())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { nj.Close() })
+	return nj
+}
+
+func openTemp(t *testing.T) *Journal {
+	t.Helper()
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// TestRoundTrip: a full job life — accepted, two checkpoints, terminal
+// result — replays byte-exactly across a restart, and a second restart
+// (a fresh segment per boot) still sees it.
+func TestRoundTrip(t *testing.T) {
+	j := openTemp(t)
+	req := []byte(`{"graph":{"name":"g"},"seed":3}`)
+	body := []byte(`{"result":"ok"}` + "\n")
+	for _, step := range []struct {
+		rec  Record
+		sync bool
+	}{
+		{Accepted("j1-abc", req, "abc|mode=salsa"), true},
+		{Progress("j1-abc", []byte(`{"improvements":1}`)), false},
+		{Progress("j1-abc", []byte(`{"improvements":2}`)), false},
+		{Result("j1-abc", 200, body, false, 1234), true},
+	} {
+		if err := j.Append(step.rec, step.sync); err != nil {
+			t.Fatalf("Append(%d): %v", step.rec.Kind, err)
+		}
+	}
+	for boot := 0; boot < 2; boot++ {
+		j = reopen(t, j)
+		states := j.States()
+		if len(states) != 1 {
+			t.Fatalf("boot %d: %d states, want 1", boot, len(states))
+		}
+		st := states[0]
+		if st.ID != "j1-abc" || !bytes.Equal(st.Request, req) || st.Options != "abc|mode=salsa" {
+			t.Errorf("boot %d: accepted fields corrupted: %+v", boot, st)
+		}
+		if !st.Terminal || st.Status != 200 || !bytes.Equal(st.Body, body) || st.ElapsedMS != 1234 {
+			t.Errorf("boot %d: terminal fields corrupted: %+v", boot, st)
+		}
+		if !bytes.Equal(st.Progress, []byte(`{"improvements":2}`)) {
+			t.Errorf("boot %d: progress = %s, want last checkpoint", boot, st.Progress)
+		}
+	}
+}
+
+// TestReplayCorruption is the table of every torn-history shape replay
+// must absorb: the longest valid prefix survives, nothing panics, and
+// records after the first bad frame are gone.
+func TestReplayCorruption(t *testing.T) {
+	// A reference two-record stream: job accepted, then finished.
+	acc := encodeFrame(Accepted("j1-ff", []byte(`{"seed":1}`), "k"))
+	res := encodeFrame(Result("j1-ff", 200, []byte(`{"ok":true}`), false, 10))
+
+	corruptCRC := append(append([]byte(nil), acc...), res...)
+	corruptCRC[len(acc)+4] ^= 0xff // flip one CRC byte of the result frame
+
+	hugeLen := append([]byte(nil), acc...)
+	hugeLen = binary.LittleEndian.AppendUint32(hugeLen, 1<<30) // absurd length prefix
+	hugeLen = binary.LittleEndian.AppendUint32(hugeLen, 0)
+
+	// A frame whose CRC is valid but whose body lies about the ID
+	// length (idLen past the body end).
+	badID := []byte{byte(KindAccepted), 0xff, 0xff, 'x'}
+	badIDFrame := make([]byte, 0, headerLen+len(badID))
+	badIDFrame = binary.LittleEndian.AppendUint32(badIDFrame, uint32(len(badID)))
+	badIDFrame = binary.LittleEndian.AppendUint32(badIDFrame, crc32.ChecksumIEEE(badID))
+	badIDFrame = append(badIDFrame, badID...)
+
+	dup := Result("j1-ff", 500, []byte(`{"error":"late duplicate"}`), true, 999)
+
+	cases := []struct {
+		name string
+		data []byte // raw segment bytes
+		want int    // surviving states
+		// checks beyond the count:
+		terminal bool // want[0].Terminal
+		status   int  // want[0].Status when terminal
+	}{
+		{"empty file", nil, 0, false, 0},
+		{"truncated tail record", append(append([]byte(nil), acc...), res[:len(res)-5]...), 1, false, 0},
+		{"torn write partial frame", append(append([]byte(nil), acc...), res[:3]...), 1, false, 0},
+		{"crc mismatch mid-file", corruptCRC, 1, false, 0},
+		{"garbage only", []byte("not a journal at all"), 0, false, 0},
+		{"huge length prefix", hugeLen, 1, false, 0},
+		{"bad id length", append(badIDFrame, acc...), 0, false, 0},
+		{"duplicate terminal record", append(append(append([]byte(nil), acc...), res...), encodeFrame(dup)...), 1, true, 200},
+		{"intact", append(append([]byte(nil), acc...), res...), 1, true, 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "seg-00000001.wal"), tc.data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+			j, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open over corrupt segment: %v", err)
+			}
+			defer j.Close()
+			states := j.States()
+			if len(states) != tc.want {
+				t.Fatalf("replayed %d states, want %d", len(states), tc.want)
+			}
+			if tc.want == 0 {
+				return
+			}
+			st := states[0]
+			if st.Terminal != tc.terminal {
+				t.Errorf("Terminal = %t, want %t", st.Terminal, tc.terminal)
+			}
+			if tc.terminal && (st.Status != tc.status || !bytes.Equal(st.Body, []byte(`{"ok":true}`))) {
+				t.Errorf("first terminal record must win: status=%d body=%s", st.Status, st.Body)
+			}
+		})
+	}
+}
+
+// TestReduceOrphans: progress and results whose acceptance did not
+// survive are dropped — an unacknowledged job must not resurrect.
+func TestReduceOrphans(t *testing.T) {
+	states := Reduce([]Record{
+		Progress("ghost", []byte(`{}`)),
+		Result("ghost", 200, []byte(`{}`), false, 1),
+		Accepted("real", []byte(`{"seed":2}`), "k2"),
+	})
+	if len(states) != 1 || states[0].ID != "real" {
+		t.Fatalf("Reduce kept orphans: %+v", states)
+	}
+}
+
+// TestKillTearsUnsyncedTail: Kill must preserve everything fsynced and
+// may tear anything after it; replay never sees a partial frame.
+func TestKillTearsUnsyncedTail(t *testing.T) {
+	for _, tear := range []uint64{0, 1, 7, 1 << 60} {
+		j := openTemp(t)
+		if err := j.Append(Accepted("j1-aa", []byte(`{"seed":1}`), "k"), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Progress("j1-aa", []byte(`{"improvements":9}`)), false); err != nil {
+			t.Fatal(err)
+		}
+		j.Kill(tear)
+		if err := j.Append(Result("j1-aa", 200, []byte(`{}`), false, 1), true); err != ErrKilled {
+			t.Fatalf("Append after Kill = %v, want ErrKilled", err)
+		}
+		j.Kill(tear + 1) // idempotent
+		nj, err := Open(j.Dir())
+		if err != nil {
+			t.Fatalf("tear=%d: reopen: %v", tear, err)
+		}
+		states := nj.States()
+		if len(states) != 1 || states[0].ID != "j1-aa" || states[0].Terminal {
+			t.Fatalf("tear=%d: synced acceptance lost or terminal invented: %+v", tear, states)
+		}
+		nj.Close()
+		j.Close()
+	}
+}
+
+// TestCrashHookMidWrite: a Crash hook that dies partway into a frame
+// leaves a torn tail that replay absorbs, and the journal refuses
+// further work.
+func TestCrashHookMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenWithHooks(dir, &Hooks{Crash: func(idx int, _ Record, frameLen int) int {
+		if idx == 1 {
+			return frameLen / 2
+		}
+		return -1
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Accepted("j1-bb", []byte(`{"seed":4}`), "k4"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Result("j1-bb", 200, []byte(`{}`), false, 5), true); err != ErrKilled {
+		t.Fatalf("crashed append = %v, want ErrKilled", err)
+	}
+	if err := j.Append(Progress("j1-bb", []byte(`{}`)), false); err != ErrKilled {
+		t.Fatalf("append after crash = %v, want ErrKilled", err)
+	}
+	j.Close()
+	nj, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nj.Close()
+	states := nj.States()
+	if len(states) != 1 || states[0].Terminal {
+		t.Fatalf("mid-write crash: want the acceptance alone, got %+v", states)
+	}
+}
+
+// TestOpenSegmentsAccumulate: each boot appends to its own segment and
+// replay folds them all, oldest first.
+func TestOpenSegmentsAccumulate(t *testing.T) {
+	j := openTemp(t)
+	if err := j.Append(Accepted("j1-s1", []byte(`{"seed":1}`), "k1"), true); err != nil {
+		t.Fatal(err)
+	}
+	j = reopen(t, j)
+	if err := j.Append(Result("j1-s1", 200, []byte(`{"x":1}`), false, 2), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Accepted("j2-s2", []byte(`{"seed":2}`), "k2"), true); err != nil {
+		t.Fatal(err)
+	}
+	j = reopen(t, j)
+	states := j.States()
+	if len(states) != 2 {
+		t.Fatalf("%d states across segments, want 2", len(states))
+	}
+	if states[0].ID != "j1-s1" || !states[0].Terminal {
+		t.Errorf("cross-segment fold broken: %+v", states[0])
+	}
+	if states[1].ID != "j2-s2" || states[1].Terminal {
+		t.Errorf("second boot's acceptance lost: %+v", states[1])
+	}
+}

@@ -24,6 +24,7 @@ func DefaultCtxflowConfig() CtxflowConfig {
 			"internal/service",
 			"internal/engine",
 			"internal/cluster",
+			"internal/journal",
 			"cmd/salsad",
 		},
 	}

@@ -45,21 +45,32 @@ type JobStatus struct {
 	Error      string          `json:"error,omitempty"`
 	// ElapsedMS is the job's age (terminal jobs: creation to finish;
 	// live jobs: creation to now), measured on the server's clock — a
-	// virtual clock under the simulation harness.
+	// virtual clock under the simulation harness. A terminal job
+	// recovered from the journal keeps the elapsed time frozen at its
+	// original completion: the restart does not age the answer.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Recovered marks a job replayed from the write-ahead journal after
+	// a restart (terminal jobs byte-identically, in-flight jobs by
+	// re-running the allocation).
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // job is the registry's mutable record of one async submission.
 type job struct {
-	mu       sync.Mutex
-	id       string      // immutable after creation
-	clk      clock.Clock // immutable after creation
-	created  time.Time   // immutable after creation
-	state    string      // guarded by mu
-	progress JobProgress // guarded by mu
-	status   int         // guarded by mu
-	body     []byte      // guarded by mu
-	finished time.Time   // guarded by mu; zero until terminal
+	mu        sync.Mutex
+	id        string      // immutable after creation
+	clk       clock.Clock // immutable after creation
+	created   time.Time   // immutable after creation
+	recovered bool        // immutable after creation; replayed from the journal
+	state     string      // guarded by mu
+	progress  JobProgress // guarded by mu
+	status    int         // guarded by mu
+	body      []byte      // guarded by mu
+	finished  time.Time   // guarded by mu; zero until terminal
+	// frozenMS pins elapsed_ms for journal-recovered terminal jobs (the
+	// original completion's elapsed time, not this process's uptime).
+	frozenMS int64 // guarded by mu
+	frozen   bool  // guarded by mu
 }
 
 // engineEvent folds one engine telemetry event into the job's progress.
@@ -95,12 +106,19 @@ func (j *job) setState(state string) {
 // finish records the terminal outcome. merged marks completion via a
 // cache hit or a shared singleflight run rather than an own engine run.
 func (j *job) finish(status int, body []byte, merged bool) {
+	j.finishAt(j.clk.Now(), status, body, merged)
+}
+
+// finishAt is finish with the completion instant supplied by the
+// caller, so the journaled elapsed time and the served elapsed time
+// come from one clock reading and can never disagree.
+func (j *job) finishAt(now time.Time, status int, body []byte, merged bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.status = status
 	j.body = body
 	j.progress.Merged = merged
-	j.finished = j.clk.Now()
+	j.finished = now
 	if status == 200 {
 		j.state = jobDone
 	} else {
@@ -108,16 +126,70 @@ func (j *job) finish(status int, body []byte, merged bool) {
 	}
 }
 
+// restoreTerminal replays a journaled terminal outcome: the exact
+// status and body the pre-crash process acknowledged, with elapsed_ms
+// frozen at the original completion.
+func (j *job) restoreTerminal(status int, body []byte, merged bool, elapsedMS int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = status
+	j.body = body
+	j.progress.Merged = merged
+	j.finished = j.created
+	j.frozenMS = elapsedMS
+	j.frozen = true
+	if status == 200 {
+		j.state = jobDone
+	} else {
+		j.state = jobFailed
+	}
+}
+
+// restoreProgress replays the last journaled checkpoint so a poll
+// during the recovery re-run shows the pre-crash progress instead of
+// zeros. Best effort: an undecodable snapshot is ignored.
+func (j *job) restoreProgress(snapshot []byte) {
+	var p JobProgress
+	if json.Unmarshal(snapshot, &p) != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == jobQueued || j.state == jobRunning {
+		j.progress = p
+	}
+}
+
+// progressSnapshot marshals the live progress for a journal
+// checkpoint; ok is false once the job is terminal (its progress is
+// then part of the terminal outcome, checkpointed by the Result
+// record).
+func (j *job) progressSnapshot() (snap []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == jobDone || j.state == jobFailed {
+		return nil, false
+	}
+	snap, err := json.Marshal(j.progress)
+	if err != nil {
+		return nil, false
+	}
+	return snap, true
+}
+
 // statusJSON snapshots the job as its wire form.
 func (j *job) statusJSON() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state, Progress: j.progress}
+	st := JobStatus{ID: j.id, State: j.state, Progress: j.progress, Recovered: j.recovered}
 	end := j.finished
 	if end.IsZero() {
 		end = j.clk.Now()
 	}
 	st.ElapsedMS = end.Sub(j.created).Milliseconds()
+	if j.frozen {
+		st.ElapsedMS = j.frozenMS
+	}
 	if j.state == jobDone {
 		st.HTTPStatus = j.status
 		st.Result = json.RawMessage(j.body)
@@ -160,6 +232,47 @@ func (r *jobRegistry) create(fingerprint string) (*job, error) {
 	j := &job{id: fmt.Sprintf("j%d-%.12s", r.seq, fingerprint), clk: r.clk, created: r.clk.Now(), state: jobQueued}
 	r.jobs[j.id] = j
 	return j, nil
+}
+
+// restore registers a journal-replayed job under its original ID (the
+// ID a client already holds and will poll). The sequence counter jumps
+// past the replayed ID's so fresh submissions cannot collide with
+// recovered ones. ok is false when the registry is full or the ID is
+// already present (a duplicate in a corrupt journal).
+func (r *jobRegistry) restore(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.jobs) >= r.maxJobs {
+		return nil, false
+	}
+	if _, exists := r.jobs[id]; exists {
+		return nil, false
+	}
+	if seq, ok := parseJobSeq(id); ok && seq > r.seq {
+		r.seq = seq
+	}
+	j := &job{id: id, clk: r.clk, created: r.clk.Now(), state: jobQueued, recovered: true}
+	r.jobs[id] = j
+	return j, true
+}
+
+// remove deletes a job — the unwind when its acceptance could not be
+// journaled (the 202 was never sent) or its journal entry is not
+// replayable.
+func (r *jobRegistry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, id)
+}
+
+// parseJobSeq extracts N from a "jN-<fingerprint>" job ID.
+func parseJobSeq(id string) (int, bool) {
+	var seq int
+	var rest string
+	if _, err := fmt.Sscanf(id, "j%d-%s", &seq, &rest); err != nil {
+		return 0, false
+	}
+	return seq, true
 }
 
 func (r *jobRegistry) get(id string) *job {

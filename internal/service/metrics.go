@@ -41,6 +41,8 @@ type metrics struct {
 	// Async jobs.
 	jobsSubmitted atomic.Int64
 	jobsFinished  atomic.Int64
+	jobsRecovered atomic.Int64 // jobs replayed from the write-ahead journal at boot
+	journalErrors atomic.Int64 // journal appends that failed or replay entries dropped
 
 	latency histogram
 }
@@ -124,6 +126,8 @@ func (m *metrics) writePrometheus(w io.Writer, cacheEntries int) {
 	gauge("salsa_active_runs", "Engine runs currently executing.", m.activeRuns.Load())
 	counter("salsa_jobs_submitted_total", "Async jobs accepted.", m.jobsSubmitted.Load())
 	counter("salsa_jobs_finished_total", "Async jobs completed (any terminal state).", m.jobsFinished.Load())
+	counter("salsa_jobs_recovered_total", "Async jobs replayed from the write-ahead journal at boot.", m.jobsRecovered.Load())
+	counter("salsa_journal_errors_total", "Journal appends that failed or replayed entries that were dropped.", m.journalErrors.Load())
 
 	fmt.Fprintf(w, "# HELP salsa_request_duration_ms HTTP request latency.\n# TYPE salsa_request_duration_ms histogram\n")
 	var cum int64
@@ -163,6 +167,8 @@ func (m *metrics) snapshot(cacheEntries int) map[string]int64 {
 		"active_runs":                  m.activeRuns.Load(),
 		"jobs_submitted_total":         m.jobsSubmitted.Load(),
 		"jobs_finished_total":          m.jobsFinished.Load(),
+		"jobs_recovered_total":         m.jobsRecovered.Load(),
+		"journal_errors_total":         m.journalErrors.Load(),
 		"request_duration_ms_sum":      m.latency.sumMS.Load(),
 		"request_duration_ms_count":    m.latency.count.Load(),
 	}

@@ -46,6 +46,8 @@ import (
 
 	"salsa"
 	"salsa/internal/clock"
+	"salsa/internal/engine"
+	"salsa/internal/journal"
 )
 
 // Config tunes one Server.
@@ -70,6 +72,13 @@ type Config struct {
 	EngineWorkers int
 	// MaxJobs bounds the async job registry; 0 selects 1024.
 	MaxJobs int
+	// Journal, when non-nil, makes async jobs durable: acceptances and
+	// terminal outcomes are fsynced to it before they are acknowledged,
+	// and New replays its states — terminal jobs byte-identically,
+	// in-flight jobs by re-enqueuing them. The caller opens it
+	// (journal.Open) and owns closing it after Drain. Nil disables
+	// durability (jobs die with the process, the pre-journal behavior).
+	Journal *journal.Journal
 	// Hooks, when non-nil, installs test-only instrumentation (virtual
 	// clock, fault injection). Always nil in production; see Hooks.
 	Hooks *Hooks
@@ -108,6 +117,8 @@ type Server struct {
 	cache   *resultCache
 	flight  *flightGroup
 	jobs    *jobRegistry
+	// journal is Config.Journal (nil when durability is disabled).
+	journal *journal.Journal
 	// clock is the server's time source: the system clock in
 	// production, a virtual clock under the simulation harness.
 	clock clock.Clock
@@ -145,6 +156,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
 		jobs:    newJobRegistry(cfg.MaxJobs, clk),
+		journal: cfg.Journal,
 		clock:   clk,
 		hooks:   cfg.Hooks,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
@@ -154,7 +166,53 @@ func New(cfg Config) *Server {
 		s.flight.fault = cfg.Hooks.FlightFault
 	}
 	publishExpvar(s)
+	if s.journal != nil {
+		s.recoverJobs()
+	}
 	return s
+}
+
+// recoverJobs replays the journal at boot. Terminal jobs come back
+// byte-identical with elapsed_ms frozen at the original completion.
+// Non-terminal jobs — accepted and acknowledged, then orphaned by the
+// crash — are re-parsed from their journaled request bytes and
+// re-enqueued through the normal allocation path: determinism
+// guarantees the re-run's body matches what the dead process would
+// have produced. An entry that cannot be replayed (undecodable
+// request, or options that no longer match — a journal written by a
+// different codebase) is dropped and counted in journal_errors_total
+// rather than resurrected wrong.
+func (s *Server) recoverJobs() {
+	for _, st := range s.journal.States() {
+		j, ok := s.jobs.restore(st.ID)
+		if !ok {
+			s.metrics.journalErrors.Add(1)
+			continue
+		}
+		if st.Terminal {
+			j.restoreTerminal(st.Status, st.Body, st.Merged, st.ElapsedMS)
+			s.metrics.jobsRecovered.Add(1)
+			continue
+		}
+		var ar AllocateRequest
+		if err := json.Unmarshal(st.Request, &ar); err != nil {
+			s.jobs.remove(st.ID)
+			s.metrics.journalErrors.Add(1)
+			continue
+		}
+		spec, err := s.parseRequest(&ar)
+		if err != nil || spec.key != st.Options {
+			s.jobs.remove(st.ID)
+			s.metrics.journalErrors.Add(1)
+			continue
+		}
+		spec.wire = st.Request
+		if len(st.Progress) > 0 {
+			j.restoreProgress(st.Progress)
+		}
+		s.metrics.jobsRecovered.Add(1)
+		s.startJob(j, spec)
+	}
 }
 
 // MetricsSnapshot returns the service counters and gauges as a flat
@@ -291,6 +349,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) *allocSpe
 		writeJSON(w, http.StatusBadRequest, errorBody(err.Error()))
 		return nil
 	}
+	spec.wire = body
 	return spec
 }
 
@@ -396,52 +455,113 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody(err.Error()))
 		return
 	}
-	s.metrics.jobsSubmitted.Add(1)
-	if body, ok := s.cacheGet(spec.key); ok {
-		s.metrics.cacheHits.Add(1)
-		j.finish(http.StatusOK, body, true)
-		s.metrics.jobsFinished.Add(1)
-	} else {
-		s.metrics.cacheMisses.Add(1)
-		// Progress events only flow when this job leads its own engine
-		// run; a shared run completes the job without per-trial
-		// progress (Merged marks that).
-		spec.req.Engine.Events = j.engineEvent
-		s.work.Add(1)
-		go func() {
-			defer s.work.Done()
-			j.setState(jobRunning)
-			// The job deliberately outlives the submitting request: its
-			// lifetime is the engine run's, so it waits on a background
-			// context, never the request's.
-			//lint:ctxflow async job survives the submitting request by design
-			out, shared, ferr := s.flight.do(context.Background(), spec.key, func() *outcome { return s.runAllocation(spec) })
-			if ferr != nil {
-				// Only an injected wakeup fault can get here: a
-				// background context never expires on its own. The job
-				// fails the same way an abandoned synchronous waiter
-				// does.
-				s.metrics.flightAbandoned.Add(1)
-				j.finish(http.StatusRequestTimeout,
-					errorBody("job abandoned while waiting on an identical in-flight run: "+ferr.Error()), false)
-				s.metrics.jobsFinished.Add(1)
-				return
-			}
-			if shared {
-				s.metrics.flightShared.Add(1)
-			} else {
-				s.metrics.flightLeads.Add(1)
-			}
-			j.finish(out.status, out.body, shared)
-			s.metrics.jobsFinished.Add(1)
-		}()
+	// Durability before acknowledgement: the acceptance reaches disk
+	// before the 202 does the wire, so a crash can never forget a job a
+	// client was told about. An append failure unwinds the admission —
+	// the client retries against a shard whose disk works.
+	if s.journal != nil {
+		if jerr := s.journal.Append(journal.Accepted(j.id, spec.wire, spec.key), true); jerr != nil {
+			s.metrics.journalErrors.Add(1)
+			s.jobs.remove(j.id)
+			w.Header().Set("Retry-After", s.retryAfterHint())
+			writeJSON(w, http.StatusServiceUnavailable, errorBody("journal write failed: "+jerr.Error()))
+			return
+		}
 	}
+	s.metrics.jobsSubmitted.Add(1)
+	s.startJob(j, spec)
 	resp, merr := json.Marshal(map[string]string{"id": j.id, "status_url": "/jobs/" + j.id})
 	if merr != nil {
 		writeJSON(w, http.StatusInternalServerError, errorBody("encoding response: "+merr.Error()))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, append(resp, '\n'))
+}
+
+// startJob runs one accepted job to its terminal state: from the cache
+// when possible, otherwise in a background goroutine through
+// singleflight and the engine. Shared by fresh submissions and
+// journal recovery, so a re-enqueued job takes exactly the path its
+// original submission did.
+func (s *Server) startJob(j *job, spec *allocSpec) {
+	if body, ok := s.cacheGet(spec.key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.finishJob(j, &outcome{status: http.StatusOK, body: body}, true)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	// Progress events only flow when this job leads its own engine
+	// run; a shared run completes the job without per-trial
+	// progress (Merged marks that).
+	spec.req.Engine.Events = s.jobEvents(j)
+	s.work.Add(1)
+	go func() {
+		defer s.work.Done()
+		j.setState(jobRunning)
+		// The job deliberately outlives the submitting request: its
+		// lifetime is the engine run's, so it waits on a background
+		// context, never the request's.
+		//lint:ctxflow async job survives the submitting request by design
+		out, shared, ferr := s.flight.do(context.Background(), spec.key, func() *outcome { return s.runAllocation(spec) })
+		if ferr != nil {
+			// Only an injected wakeup fault can get here: a
+			// background context never expires on its own. The job
+			// fails the same way an abandoned synchronous waiter
+			// does.
+			s.metrics.flightAbandoned.Add(1)
+			s.finishJob(j, &outcome{status: http.StatusRequestTimeout,
+				body: errorBody("job abandoned while waiting on an identical in-flight run: " + ferr.Error())}, false)
+			return
+		}
+		if shared {
+			s.metrics.flightShared.Add(1)
+		} else {
+			s.metrics.flightLeads.Add(1)
+		}
+		s.finishJob(j, out, shared)
+	}()
+}
+
+// finishJob journals the terminal outcome (fsynced — the result must
+// survive any later crash, because polls will serve it) and then makes
+// it visible to polls. One clock reading feeds both the journaled and
+// the served elapsed time, so a recovery after this point freezes
+// exactly the number a pre-crash poll saw.
+func (s *Server) finishJob(j *job, out *outcome, merged bool) {
+	now := s.clock.Now()
+	if s.journal != nil {
+		elapsed := now.Sub(j.created).Milliseconds()
+		if jerr := s.journal.Append(journal.Result(j.id, out.status, out.body, merged, elapsed), true); jerr != nil {
+			// The outcome still stands — recomputing it after a crash
+			// yields the same bytes — so serve it and count the append
+			// failure rather than failing a finished job.
+			s.metrics.journalErrors.Add(1)
+		}
+	}
+	j.finishAt(now, out.status, out.body, merged)
+	s.metrics.jobsFinished.Add(1)
+}
+
+// jobEvents wraps a job's engine-event callback with journal progress
+// checkpoints: each improvement appends an unsynced Progress record
+// (advisory — losing the tail costs a checkpoint, never a job).
+func (s *Server) jobEvents(j *job) func(engine.Event) {
+	if s.journal == nil {
+		return j.engineEvent
+	}
+	return func(ev engine.Event) {
+		j.engineEvent(ev)
+		if ev.Kind != engine.EventImproved {
+			return
+		}
+		snap, ok := j.progressSnapshot()
+		if !ok {
+			return
+		}
+		if jerr := s.journal.Append(journal.Progress(j.id, snap), false); jerr != nil && !errors.Is(jerr, journal.ErrKilled) {
+			s.metrics.journalErrors.Add(1)
+		}
+	}
 }
 
 // handleJobStatus reports an async job's state, progress and result.

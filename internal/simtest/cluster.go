@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"salsa/internal/client"
 	"salsa/internal/clock"
 	"salsa/internal/cluster"
+	"salsa/internal/journal"
 	"salsa/internal/service"
 )
 
@@ -24,6 +27,14 @@ type ClusterOptions struct {
 	// 4 clients × 5 ops.
 	Clients      int
 	OpsPerClient int
+	// Journal gives every backend a durable job journal on disk and
+	// restarts the killed victim WITH its data dir. The kill tears the
+	// journal's unsynced tail at a seeded byte offset, and on a seeded
+	// coin the death lands mid-journal-write (a Crash hook dies partway
+	// into a frame). The invariants tighten accordingly: the router
+	// must never declare a job lost (`jobs_lost_total == 0`), because
+	// the data dir always survives the crash.
+	Journal bool
 }
 
 // backendSlot is one switchable backend: a fixed URL whose process can
@@ -56,18 +67,22 @@ func (s *backendSlot) set(h http.Handler, dead bool) {
 // drive a router over opts.Backends salsad instances in virtual time
 // while one backend — chosen so it owns at least one scripted
 // workload's fingerprint, so its death is visible to the request
-// path — is killed mid-traffic and later restarted empty. It reuses
+// path — is killed mid-traffic and later restarted: empty by default,
+// with its journal directory when opts.Journal is set. It reuses
 // the single-node scenario's scripts, op runner and invariants
 // (clients may not see failures outside the short-deadline budget,
 // complete bodies are canonical) and adds the cluster's own:
 //
 //   - the kill is survived: no scripted op fails because a backend
-//     died (failover and resubmission absorb it);
+//     died (failover, journal recovery and resubmission absorb it);
 //   - after the restart, probes readmit the backend and one clean
 //     request per workload converges to the canonical result through
 //     the router;
 //   - the router never rejects for want of a backend (the healthy set
 //     never reaches zero — only one backend dies);
+//   - with Journal: the victim's data dir survives every kill — torn
+//     journal tails included — so the router must never declare a job
+//     genuinely lost (jobs_lost_total == 0);
 //   - the router and every service instance drain cleanly.
 func RunCluster(seed int64, opts ClusterOptions) *RunResult {
 	if opts.Backends <= 0 {
@@ -79,32 +94,107 @@ func RunCluster(seed int64, opts ClusterOptions) *RunResult {
 	if opts.OpsPerClient <= 0 {
 		opts.OpsPerClient = 5
 	}
-	rr := &RunResult{Seed: seed, Scenario: "cluster"}
+	scenario := "cluster"
+	if opts.Journal {
+		scenario = "cluster-journal"
+	}
+	rr := &RunResult{Seed: seed, Scenario: scenario}
+
+	// Seeded chaos parameters, drawn before any construction so the
+	// choreography is a pure function of the seed.
+	x := uint64(seed)*2862933555777941757 + 41
+	next := func(n uint64) uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 16) % n
+	}
+	killAfter := time.Duration(20+next(60)) * time.Millisecond
+	deadFor := time.Duration(80+next(120)) * time.Millisecond
+	// tearBytes seeds where in the unsynced journal tail the kill
+	// lands; crashAt, when non-negative, dies mid-write on the victim's
+	// Nth journal append instead of at the timer (both kill paths race,
+	// first one wins).
+	tearBytes := next(1 << 20)
+	crashAt := -1
+	if opts.Journal && next(2) == 0 {
+		crashAt = int(next(10))
+	}
 
 	clk := clock.NewVirtual()
-	newBackend := func() *service.Server {
+	// victimSlot arms the Crash hook: journals are built before the
+	// ring placement (and hence the victim) is known, so every
+	// backend's hook consults this and only the victim's ever fires.
+	var victimSlot atomic.Int32
+	victimSlot.Store(-1)
+	// killCh wakes the watcher that turns a mid-write journal crash
+	// into the process-level death (the slot must die in the same
+	// instant the journal does).
+	killCh := make(chan struct{}, 1)
+	scenarioDone := make(chan struct{})
+	defer close(scenarioDone)
+	hooksFor := func(slot int) *journal.Hooks {
+		if crashAt < 0 {
+			return nil
+		}
+		return &journal.Hooks{Crash: func(idx int, _ journal.Record, frameLen int) int {
+			if int32(slot) != victimSlot.Load() || idx != crashAt {
+				return -1
+			}
+			select {
+			case killCh <- struct{}{}:
+			default:
+			}
+			return int(tearBytes % uint64(frameLen+1))
+		}}
+	}
+
+	newBackend := func(jrn *journal.Journal) *service.Server {
 		return service.New(service.Config{
 			MaxConcurrent:  2,
 			MaxQueue:       32,
 			MaxJobs:        256,
 			DefaultTimeout: time.Minute,
 			MaxTimeout:     2 * time.Minute,
+			Journal:        jrn,
 			Hooks:          &service.Hooks{Clock: clk},
 		})
 	}
 	// Every service instance ever attached to a slot, restarted
-	// replacements included: all must drain at the end.
+	// replacements included: all must drain at the end. Journals
+	// likewise, for closing.
 	var services []*service.Server
+	var journals []*journal.Journal
 	slots := make([]*backendSlot, opts.Backends)
 	urls := make([]string, opts.Backends)
+	dirs := make([]string, opts.Backends)
 	for i := range slots {
-		svc := newBackend()
+		var jrn *journal.Journal
+		if opts.Journal {
+			dir, err := os.MkdirTemp("", "salsa-wal-")
+			if err != nil {
+				rr.Violations = append(rr.Violations, "journal dir: "+err.Error())
+				return rr
+			}
+			dirs[i] = dir
+			defer os.RemoveAll(dir)
+			jrn, err = journal.OpenWithHooks(dir, hooksFor(i))
+			if err != nil {
+				rr.Violations = append(rr.Violations, "journal open: "+err.Error())
+				return rr
+			}
+			journals = append(journals, jrn)
+		}
+		svc := newBackend(jrn)
 		services = append(services, svc)
 		slots[i] = &backendSlot{h: svc.Handler()}
 		ts := httptest.NewServer(slots[i])
 		defer ts.Close()
 		urls[i] = ts.URL
 	}
+	defer func() {
+		for _, jrn := range journals {
+			_ = jrn.Close()
+		}
+	}()
 
 	router, err := cluster.New(cluster.Config{
 		Backends:      urls,
@@ -142,17 +232,38 @@ func RunCluster(seed int64, opts ClusterOptions) *RunResult {
 		rr.Violations = append(rr.Violations, "victim selection: no slot owns figure1")
 		return rr
 	}
+	victimSlot.Store(int32(victim))
 
 	// Kill/restart choreography, timed in virtual milliseconds off the
-	// seed: die mid-traffic, stay dead long enough for probes to demote
-	// (2 × 20ms), come back empty.
-	x := uint64(seed)*2862933555777941757 + 41
-	next := func(n uint64) uint64 {
-		x = x*6364136223846793005 + 1442695040888963407
-		return (x >> 16) % n
+	// seed: die mid-traffic (at the timer, or mid-journal-write when
+	// the crash hook fires first), stay dead long enough for probes to
+	// demote (2 × 20ms), come back — empty by default, with the data
+	// dir under opts.Journal.
+	var killOnce sync.Once
+	killVictim := func() {
+		killOnce.Do(func() {
+			slots[victim].set(nil, true)
+			if opts.Journal {
+				// SIGKILL semantics for the disk: no further writes, and
+				// the unsynced tail survives only up to a seeded byte
+				// offset (idempotent if the crash hook already tore it).
+				journals[victim].Kill(tearBytes)
+			}
+		})
 	}
-	killAfter := time.Duration(20+next(60)) * time.Millisecond
-	deadFor := time.Duration(80+next(120)) * time.Millisecond
+	if crashAt >= 0 {
+		go func() {
+			select {
+			case <-killCh:
+				killVictim()
+			case <-scenarioDone:
+			}
+		}()
+	}
+	// chaosErr carries restart failures out of the goroutine; read
+	// after chaos.Wait.
+	var chaosErr string
+	var replacement *service.Server
 	var chaos sync.WaitGroup
 	chaos.Add(1)
 	go func() {
@@ -160,9 +271,22 @@ func RunCluster(seed int64, opts ClusterOptions) *RunResult {
 		// Background is deliberate: the choreography always completes —
 		// a scenario must never end with the victim still dead.
 		_ = clk.Sleep(context.Background(), killAfter)
-		slots[victim].set(nil, true)
+		killVictim()
 		_ = clk.Sleep(context.Background(), deadFor)
-		replacement := newBackend()
+		var jrn *journal.Journal
+		if opts.Journal {
+			// The restart replays the victim's own directory — the
+			// "restart with disk" under test. No crash hooks: the
+			// replacement lives to the end of the scenario.
+			var err error
+			jrn, err = journal.Open(dirs[victim])
+			if err != nil {
+				chaosErr = "victim restart: " + err.Error()
+				return
+			}
+			journals = append(journals, jrn)
+		}
+		replacement = newBackend(jrn)
 		slots[victim].set(replacement.Handler(), false)
 		services = append(services, replacement)
 	}()
@@ -201,6 +325,9 @@ func RunCluster(seed int64, opts ClusterOptions) *RunResult {
 	}
 	wg.Wait()
 	chaos.Wait()
+	if chaosErr != "" {
+		rr.Violations = append(rr.Violations, chaosErr)
+	}
 	used := map[string]bool{}
 	for i := range outs {
 		rr.Events = append(rr.Events, outs[i].events...)
@@ -259,6 +386,20 @@ func RunCluster(seed int64, opts ClusterOptions) *RunResult {
 	}
 	if rr.Metrics["requests_total"] == 0 {
 		rr.Violations = append(rr.Violations, "router served no requests")
+	}
+	if opts.Journal {
+		// The tightened loss invariant: the victim's data dir survived
+		// the kill (that is the scenario), so the router must never have
+		// proven a job genuinely lost — any job it could not serve had
+		// to stay retryable until the journal brought it back.
+		if rr.Metrics["jobs_lost_total"] != 0 {
+			rr.Violations = append(rr.Violations, fmt.Sprintf(
+				"router declared %d jobs lost although the journal directory survived the kill",
+				rr.Metrics["jobs_lost_total"]))
+		}
+		if replacement != nil {
+			rr.Metrics["victim_jobs_recovered_total"] = replacement.MetricsSnapshot()["jobs_recovered_total"]
+		}
 	}
 	return rr
 }

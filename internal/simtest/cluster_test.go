@@ -5,12 +5,16 @@ import (
 	"testing"
 )
 
-// TestClusterScenarios sweeps seeds through the cluster chaos
-// scenario: scripted clients against a router while one backend is
-// killed mid-traffic and restarted empty. The seed range shards the
-// same way as the single-node sweep (SALSA_CHAOS_SEED_START /
-// SALSA_CHAOS_SEEDS), and failing seeds leave the same JSONL
-// artifacts.
+// TestClusterScenarios sweeps seeds through the journaled cluster
+// chaos scenario: scripted clients against a router while one backend
+// is killed mid-traffic — at a seeded instant or mid-journal-write,
+// with the journal's unsynced tail torn at a seeded byte offset — and
+// restarted WITH its journal directory. On top of the base cluster
+// invariants (no client-visible failures, canonical bodies,
+// convergence, clean drain) the journaled run must show zero genuinely
+// lost jobs. The seed range shards the same way as the single-node
+// sweep (SALSA_CHAOS_SEED_START / SALSA_CHAOS_SEEDS), and failing
+// seeds leave the same JSONL artifacts.
 func TestClusterScenarios(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster scenarios run whole engine searches; skipped in -short")
@@ -26,7 +30,7 @@ func TestClusterScenarios(t *testing.T) {
 	for seed := start; seed < start+n; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			rr := RunCluster(int64(seed), ClusterOptions{})
+			rr := RunCluster(int64(seed), ClusterOptions{Journal: true})
 			if len(rr.Violations) > 0 {
 				writeArtifact(t, rr)
 				for _, v := range rr.Violations {
@@ -35,5 +39,23 @@ func TestClusterScenarios(t *testing.T) {
 				t.Logf("router metrics: %v", rr.Metrics)
 			}
 		})
+	}
+}
+
+// TestClusterScenarioEphemeral keeps the pre-journal mode honest: a
+// victim restarted empty (no data dir) still costs no client-visible
+// failures — resubmission covers what the journal would have — it is
+// merely allowed to lose pinned jobs.
+func TestClusterScenarioEphemeral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster scenarios run whole engine searches; skipped in -short")
+	}
+	rr := RunCluster(int64(chaosSeedStart(t)), ClusterOptions{})
+	if len(rr.Violations) > 0 {
+		writeArtifact(t, rr)
+		for _, v := range rr.Violations {
+			t.Error(v)
+		}
+		t.Logf("router metrics: %v", rr.Metrics)
 	}
 }
